@@ -1,0 +1,308 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§8). Each benchmark reports, besides time, the headline
+// numbers of its artifact as custom metrics so `go test -bench` output
+// doubles as the reproduction record:
+//
+//	BenchmarkTable1Pipeline      — Table 1 (potential/sound/unsound warnings)
+//	BenchmarkTable1Validation    — Table 1's true-harmful column (explorer)
+//	BenchmarkFigure5SoundFilters — Figure 5(a) percentages
+//	BenchmarkFigure5Unsound      — Figure 5(b) percentages
+//	BenchmarkTable2Injection     — Table 2 (28 injected, missed, pruned)
+//	BenchmarkTable3DEvA          — Table 3 (detected/filtered/not-detected)
+//	BenchmarkPhase*              — §8.8 phase split
+//	BenchmarkAblation*           — design-choice ablations (k, escape)
+package nadroid_test
+
+import (
+	"testing"
+
+	"nadroid"
+	"nadroid/internal/corpus"
+	"nadroid/internal/deva"
+	"nadroid/internal/dynrace"
+	"nadroid/internal/escape"
+	"nadroid/internal/eval"
+	"nadroid/internal/explore"
+	"nadroid/internal/filters"
+	"nadroid/internal/inject"
+	"nadroid/internal/interp"
+	"nadroid/internal/nosleep"
+	"nadroid/internal/race"
+	"nadroid/internal/threadify"
+	"nadroid/internal/uaf"
+)
+
+// BenchmarkTable1Pipeline runs the static pipeline (model + detect +
+// filter) over the full 27-app corpus — the paper's Table 1 without the
+// manual-validation column.
+func BenchmarkTable1Pipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var pot, sound, unsound int
+		for _, app := range corpus.Apps() {
+			res, err := nadroid.Analyze(app.Build(), nadroid.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pot += res.Stats.Potential
+			sound += res.Stats.AfterSound
+			unsound += res.Stats.AfterUnsound
+		}
+		b.ReportMetric(float64(pot), "potential")
+		b.ReportMetric(float64(sound), "after-sound")
+		b.ReportMetric(float64(unsound), "after-unsound")
+	}
+}
+
+// BenchmarkTable1Validation regenerates the true-harmful column on the
+// apps that carry seeded bugs (the explorer dominates, so the corpus is
+// restricted to keep iterations tractable).
+func BenchmarkTable1Validation(b *testing.B) {
+	apps := []string{"ConnectBot", "Aard", "QKSMS", "Music"}
+	for i := 0; i < b.N; i++ {
+		harmful := 0
+		for _, name := range apps {
+			app, _ := corpus.ByName(name)
+			res, err := nadroid.Analyze(app.Build(), nadroid.Options{
+				Validate: true,
+				Explore:  explore.Options{MaxSchedules: 3000},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			harmful += len(res.Harmful)
+		}
+		b.ReportMetric(float64(harmful), "true-harmful")
+	}
+}
+
+// BenchmarkFigure5SoundFilters measures the independent effectiveness of
+// MHB/IG/IA over the 20 test apps (Figure 5(a)).
+func BenchmarkFigure5SoundFilters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := eval.Figure5Data()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pct(f.SoundRemoved[filters.NameMHB], f.Potential), "MHB-%")
+		b.ReportMetric(pct(f.SoundRemoved[filters.NameIG], f.Potential), "IG-%")
+		b.ReportMetric(pct(f.SoundRemoved[filters.NameIA], f.Potential), "IA-%")
+		b.ReportMetric(pct(f.Potential-f.AfterSound, f.Potential), "all-%")
+	}
+}
+
+// BenchmarkFigure5Unsound measures mayHB/MA/UR/TT after the sound pass
+// (Figure 5(b)).
+func BenchmarkFigure5Unsound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := eval.Figure5Data()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pct(f.UnsoundRemoved["mayHB"], f.AfterSound), "mayHB-%")
+		b.ReportMetric(pct(f.UnsoundRemoved[filters.NameMA], f.AfterSound), "MA-%")
+		b.ReportMetric(pct(f.UnsoundRemoved[filters.NameUR], f.AfterSound), "UR-%")
+		b.ReportMetric(pct(f.UnsoundRemoved[filters.NameTT], f.AfterSound), "TT-%")
+		b.ReportMetric(pct(f.AfterSound-f.AfterUnsound, f.AfterSound), "all-%")
+	}
+}
+
+// BenchmarkTable2Injection regenerates the false-negative study: 28
+// artificial UAFs, of which 2 are missed (framework-mediated binder) and
+// 3 pruned by the unsound CHB filter.
+func BenchmarkTable2Injection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := inject.Run(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		all, missed, pruned := inject.Totals(rows)
+		b.ReportMetric(float64(all), "injected")
+		b.ReportMetric(float64(missed), "missed")
+		b.ReportMetric(float64(pruned), "pruned-unsound")
+	}
+}
+
+// BenchmarkTable3DEvA regenerates the baseline comparison on the
+// training apps.
+func BenchmarkTable3DEvA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var filtered, reported, notDetected int
+		for _, r := range rows {
+			switch {
+			case !r.Detected:
+				notDetected++
+			case r.Filtered:
+				filtered++
+			default:
+				reported++
+			}
+		}
+		b.ReportMetric(float64(len(rows)), "deva-warnings")
+		b.ReportMetric(float64(filtered), "nadroid-filtered")
+		b.ReportMetric(float64(reported), "nadroid-reported")
+		b.ReportMetric(float64(notDetected), "nadroid-missed")
+	}
+}
+
+// Phase benchmarks split §8.8's pipeline cost on a mid-sized app (Mms).
+
+func phaseApp(b *testing.B) *threadify.Model {
+	b.Helper()
+	app, _ := corpus.ByName("Mms")
+	m, err := threadify.Build(app.Build(), threadify.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkPhaseModeling measures threadification (§4) alone.
+func BenchmarkPhaseModeling(b *testing.B) {
+	app, _ := corpus.ByName("Mms")
+	pkg := app.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := threadify.Build(pkg, threadify.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPhaseDetection measures race/UAF detection (§5) alone.
+func BenchmarkPhaseDetection(b *testing.B) {
+	m := phaseApp(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		uaf.Detect(m)
+	}
+}
+
+// BenchmarkPhaseFiltering measures the filter pipeline (§6) alone:
+// detection runs once, and each iteration restores the warning pair sets
+// before re-filtering (re-detecting per iteration would dominate the
+// wall clock without being measured).
+func BenchmarkPhaseFiltering(b *testing.B) {
+	m := phaseApp(b)
+	d := uaf.Detect(m)
+	saved := make([][]uaf.ThreadPair, len(d.Warnings))
+	for i, w := range d.Warnings {
+		saved[i] = append([]uaf.ThreadPair(nil), w.Pairs...)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for j, w := range d.Warnings {
+			w.Pairs = append(w.Pairs[:0], saved[j]...)
+			w.FilteredBy = nil
+		}
+		b.StartTimer()
+		filters.Run(d)
+	}
+}
+
+// Ablations for the design choices DESIGN.md calls out.
+
+// BenchmarkAblationK1 vs BenchmarkAblationK2: context-sensitivity depth
+// (§8.8 notes k trades precision for time). The warning count shows the
+// precision cost of k=1.
+func benchmarkK(b *testing.B, k int) {
+	app, _ := corpus.ByName("FireFox")
+	pkg := app.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := threadify.Build(pkg, threadify.Options{K: k})
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := uaf.Detect(m)
+		st := filters.Run(d)
+		b.ReportMetric(float64(st.Potential), "potential")
+		b.ReportMetric(float64(st.AfterUnsound), "surviving")
+	}
+}
+
+func BenchmarkAblationK1(b *testing.B) { benchmarkK(b, 1) }
+func BenchmarkAblationK2(b *testing.B) { benchmarkK(b, 2) }
+func BenchmarkAblationK3(b *testing.B) { benchmarkK(b, 3) }
+
+// BenchmarkAblationNoEscape disables thread-escape pruning: every
+// aliased pair races, showing how much Chord's escape analysis buys.
+func BenchmarkAblationNoEscape(b *testing.B) {
+	app, _ := corpus.ByName("FireFox")
+	pkg := app.Build()
+	m, err := threadify.Build(pkg, threadify.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rr := race.Detect(m, race.Options{UseFreeOnly: true, SkipEscape: true})
+		d := uaf.Group(m, rr)
+		b.ReportMetric(float64(d.AliveCount()), "potential")
+	}
+}
+
+// BenchmarkEscapeAnalysis isolates the Datalog escape computation.
+func BenchmarkEscapeAnalysis(b *testing.B) {
+	m := phaseApp(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		escape.Analyze(m)
+	}
+}
+
+// BenchmarkDEvAAnalysis isolates the baseline's cost for comparison with
+// BenchmarkPhaseDetection.
+func BenchmarkDEvAAnalysis(b *testing.B) {
+	app, _ := corpus.ByName("Mms")
+	pkg := app.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		deva.Analyze(pkg)
+	}
+}
+
+// BenchmarkCorpusGeneration measures app synthesis alone (excluded from
+// all pipeline numbers).
+func BenchmarkCorpusGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, app := range corpus.Apps() {
+			app.Build()
+		}
+	}
+}
+
+func pct(n, of int) float64 {
+	if of == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(of)
+}
+
+// BenchmarkNoSleepDetection measures the §9 extension over the corpus
+// model with the most threads.
+func BenchmarkNoSleepDetection(b *testing.B) {
+	m := phaseApp(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nosleep.Detect(m)
+	}
+}
+
+// BenchmarkDynamicDetector measures the §2.3 comparator: one recorded
+// execution plus offline HB race detection.
+func BenchmarkDynamicDetector(b *testing.B) {
+	app, _ := corpus.ByName("ConnectBot")
+	pkg := app.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := interp.NewWorld(pkg, interp.Options{Record: true})
+		interp.Run(w, nil)
+		races := dynrace.Analyze(w.Recorded(), dynrace.Options{UseFreeOnly: true})
+		b.ReportMetric(float64(len(races)), "dynamic-races")
+	}
+}

@@ -1,0 +1,109 @@
+// Command nadroid-eval regenerates the paper's evaluation artifacts over
+// the synthetic corpus: Table 1, Figure 5(a)/(b), Table 2 (artificial-UAF
+// false-negative study), Table 3 (DEvA comparison), and the §8.8 phase
+// timing breakdown. It plays the role of the artifact's run-all.sh.
+//
+// Usage:
+//
+//	nadroid-eval -all
+//	nadroid-eval -table1 -validate
+//	nadroid-eval -fig5 -table2 -table3 -timing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nadroid/internal/eval"
+	"nadroid/internal/inject"
+)
+
+func main() {
+	var (
+		all      = flag.Bool("all", false, "regenerate everything")
+		table1   = flag.Bool("table1", false, "per-app pipeline results (Table 1)")
+		fig5     = flag.Bool("fig5", false, "filter effectiveness (Figure 5)")
+		table2   = flag.Bool("table2", false, "false-negative injection study (Table 2)")
+		table3   = flag.Bool("table3", false, "DEvA comparison (Table 3)")
+		timing   = flag.Bool("timing", false, "phase breakdown (§8.8)")
+		validate = flag.Bool("validate", true, "dynamically validate Table 1 survivors")
+		budget   = flag.Int("budget", 3000, "schedule budget per warning when validating")
+		out      = flag.String("out", "", "also write the artifact Result/ folder to this directory")
+		compare  = flag.Bool("compare", false, "regenerate every headline number and check it against the paper")
+	)
+	flag.Parse()
+	if *all {
+		*table1, *fig5, *table2, *table3, *timing, *compare = true, true, true, true, true, true
+	}
+	if !*table1 && !*fig5 && !*table2 && !*table3 && !*timing && !*compare {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *compare {
+		rows, err := eval.ComparePaper(*budget)
+		if err != nil {
+			fatalf("compare: %v", err)
+		}
+		fmt.Println("== Reproduction checkpoints (paper vs measured) ==")
+		fmt.Print(eval.RenderComparison(rows))
+		fmt.Println()
+	}
+
+	var rows []eval.Table1Row
+	if *table1 || *timing {
+		var err error
+		rows, err = eval.Table1(eval.Table1Options{Validate: *validate, MaxSchedules: *budget})
+		if err != nil {
+			fatalf("table1: %v", err)
+		}
+	}
+	if *table1 {
+		fmt.Println("== Table 1: nAdroid UAF analysis over the corpus ==")
+		fmt.Print(eval.RenderTable1(rows, *validate))
+		fmt.Println()
+	}
+	if *fig5 {
+		fmt.Println("== Figure 5: filter effectiveness (20 test apps) ==")
+		f, err := eval.Figure5Data()
+		if err != nil {
+			fatalf("fig5: %v", err)
+		}
+		fmt.Print(eval.RenderFigure5(f))
+		fmt.Println()
+	}
+	if *table2 {
+		fmt.Println("== Table 2: false-negative analysis (artificial UAF injection) ==")
+		rows2, err := inject.Run(nil)
+		if err != nil {
+			fatalf("table2: %v", err)
+		}
+		fmt.Print(eval.RenderTable2(rows2))
+		fmt.Println()
+	}
+	if *table3 {
+		fmt.Println("== Table 3: comparison to DEvA (training apps) ==")
+		rows3, err := eval.Table3()
+		if err != nil {
+			fatalf("table3: %v", err)
+		}
+		fmt.Print(eval.RenderTable3(rows3))
+		fmt.Println()
+	}
+	if *timing {
+		fmt.Println("== §8.8: analysis execution time ==")
+		fmt.Print(eval.RenderTiming(eval.Timing(rows)))
+	}
+	if *out != "" {
+		if err := eval.WriteArtifacts(*out, eval.Table1Options{Validate: *validate, MaxSchedules: *budget}); err != nil {
+			fatalf("artifacts: %v", err)
+		}
+		fmt.Printf("artifact files written under %s\n", *out)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "nadroid-eval: "+format+"\n", args...)
+	os.Exit(1)
+}

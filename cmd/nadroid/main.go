@@ -1,0 +1,152 @@
+// Command nadroid analyzes one application package — a .dexasm file or a
+// built-in corpus app — and reports potential use-after-free ordering
+// violations, mirroring the paper's tool: model (threadify), detect
+// (Chord-style race detection), filter (§6), and optionally validate
+// survivors with the schedule explorer.
+//
+// Usage:
+//
+//	nadroid [flags] app.dexasm
+//	nadroid [flags] -app ConnectBot
+//	nadroid -list
+//	nadroid -dump ConnectBot > connectbot.dexasm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nadroid"
+	"nadroid/internal/apk"
+	"nadroid/internal/corpus"
+	"nadroid/internal/deva"
+	"nadroid/internal/dexasm"
+	"nadroid/internal/dynrace"
+	"nadroid/internal/explore"
+	"nadroid/internal/interp"
+	"nadroid/internal/nosleep"
+)
+
+func main() {
+	var (
+		appName   = flag.String("app", "", "analyze a built-in corpus app by name")
+		list      = flag.Bool("list", false, "list built-in corpus apps and exit")
+		dump      = flag.String("dump", "", "print a corpus app as dexasm and exit")
+		k         = flag.Int("k", 2, "points-to object-sensitivity depth")
+		validate  = flag.Bool("validate", false, "dynamically validate surviving warnings (schedule exploration)")
+		budget    = flag.Int("budget", 3000, "schedule budget per warning when validating")
+		noUnsound = flag.Bool("sound-only", false, "apply only the sound filters (MHB, IG, IA)")
+		csv       = flag.Bool("csv", false, "emit the report as CSV (ResultAnalysis.csv rows)")
+		explain   = flag.Bool("explain", false, "with -validate: replay each witness as an event narrative")
+		noSleep   = flag.Bool("nosleep", false, "also run the §9 no-sleep energy-bug detector")
+		devaMode  = flag.Bool("deva", false, "run the DEvA baseline instead of nAdroid")
+		dynMode   = flag.Bool("dynamic", false, "run the trace-based dynamic detector (one default-schedule execution)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range corpus.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *dump != "" {
+		app, ok := corpus.ByName(*dump)
+		if !ok {
+			fatalf("unknown corpus app %q (use -list)", *dump)
+		}
+		fmt.Print(dexasm.Format(app.Build()))
+		return
+	}
+
+	pkg, err := loadPackage(*appName, flag.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *devaMode {
+		anomalies := deva.Analyze(pkg)
+		fmt.Printf("DEvA: %d event anomalies (intra-class, no HB, no threads)\n", len(anomalies))
+		fmt.Print(deva.Summary(anomalies))
+		return
+	}
+	if *dynMode {
+		w := interp.NewWorld(pkg, interp.Options{Record: true})
+		interp.Run(w, nil)
+		races := dynrace.Analyze(w.Recorded(), dynrace.Options{UseFreeOnly: true})
+		fmt.Printf("dynamic (single default-schedule trace): %d use/free races\n", len(races))
+		for _, r := range races {
+			fmt.Printf("  %s: use %s (%s) vs free %s (%s)\n", r.Field, r.Use, r.UseTask, r.Free, r.FreeTask)
+		}
+		return
+	}
+
+	res, err := nadroid.Analyze(pkg, nadroid.Options{
+		K:                  *k,
+		SkipUnsoundFilters: *noUnsound,
+		Validate:           *validate,
+		Explore:            explore.Options{MaxSchedules: *budget},
+	})
+	if err != nil {
+		fatalf("analyze: %v", err)
+	}
+
+	if *csv {
+		fmt.Print(res.Report.CSV())
+	} else {
+		st := res.Model.Stats()
+		fmt.Printf("%s: %d EC, %d PC, %d threads modeled\n", pkg.Name, st.EC, st.PC, st.T)
+		fmt.Printf("potential UAFs: %d; after sound filters: %d; after unsound filters: %d\n",
+			res.Stats.Potential, res.Stats.AfterSound, res.Stats.AfterUnsound)
+		fmt.Print(res.Report)
+	}
+	if *validate {
+		fmt.Printf("validated harmful: %d\n", len(res.Harmful))
+		for _, w := range res.Harmful {
+			fmt.Printf("  HARMFUL %s (use %s, free %s)\n", w.Field, w.Use, w.Free)
+			if *explain {
+				wit, ok := explore.ValidateWarning(pkg, res.Model, w, explore.Options{MaxSchedules: *budget})
+				if ok {
+					for _, line := range explore.Replay(pkg, res.Model, w, wit, explore.Options{MaxSchedules: *budget}) {
+						fmt.Printf("      %s\n", line)
+					}
+				}
+			}
+		}
+	}
+	if *noSleep {
+		ns := nosleep.Detect(res.Model)
+		fmt.Printf("no-sleep warnings: %d (%d acquire sites, %d release sites)\n",
+			len(ns.Warnings), len(ns.Acquires), len(ns.Releases))
+		for _, w := range ns.Warnings {
+			fmt.Printf("  %s\n", w)
+		}
+	}
+	fmt.Printf("timing: modeling %v, detection %v, filtering %v\n",
+		res.Timing.Modeling, res.Timing.Detection, res.Timing.Filtering)
+}
+
+func loadPackage(appName, path string) (*apk.Package, error) {
+	switch {
+	case appName != "":
+		app, ok := corpus.ByName(appName)
+		if !ok {
+			return nil, fmt.Errorf("unknown corpus app %q (use -list)", appName)
+		}
+		return app.Build(), nil
+	case path != "":
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return dexasm.Parse(string(data))
+	default:
+		return nil, fmt.Errorf("nothing to analyze: pass a .dexasm file or -app NAME")
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "nadroid: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+// No-sleep example: the §9 extension applied. A music-player-style
+// activity acquires a wake lock in onResume; the release lives in
+// onPause, but onPause is not guaranteed to be the last callback — and
+// an error path in onResume skips the acquire bookkeeping entirely.
+// The detector reports the uncovered acquire with its lineage, and the
+// schedule explorer produces an execution that ends with the device
+// still awake.
+//
+//	go run ./examples/nosleep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nadroid/internal/appbuilder"
+	"nadroid/internal/explore"
+	"nadroid/internal/framework"
+	"nadroid/internal/nosleep"
+	"nadroid/internal/threadify"
+)
+
+func main() {
+	b := appbuilder.New("player")
+	act := b.MainActivity("pl/Player")
+	act.Field("wl", framework.WakeLock)
+
+	// onCreate: wl = powerManager.newWakeLock(...)
+	oc := act.Method("onCreate", 1)
+	pm := oc.New(framework.PowerManager)
+	wl := oc.Invoke(pm, framework.PowerManager, "newWakeLock")
+	oc.PutThis("wl", wl)
+	oc.Return()
+
+	// onResume: wl.acquire() — playback keeps the screen on.
+	orr := act.Method("onResume", 0)
+	l := orr.GetThis("wl")
+	orr.InvokeVoid(l, framework.WakeLock, "release") // stale lock from a previous cycle
+	orr.InvokeVoid(l, framework.WakeLock, "acquire")
+	orr.Return()
+
+	// onPause: release — but only when playback actually stopped
+	// (an opaque condition the static analysis cannot evaluate).
+	op := act.Method("onPause", 0)
+	l2 := op.GetThis("wl")
+	op.IfCond("keep")
+	op.InvokeVoid(l2, framework.WakeLock, "release")
+	op.Label("keep")
+	op.Return()
+
+	pkg, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := threadify.Build(pkg, threadify.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res := nosleep.Detect(model)
+	fmt.Printf("wake-lock sites: %d acquire(s), %d release(s)\n", len(res.Acquires), len(res.Releases))
+	fmt.Printf("no-sleep warnings: %d\n\n", len(res.Warnings))
+	for _, w := range res.Warnings {
+		fmt.Println(w)
+		for _, r := range w.PartialReleases {
+			fmt.Printf("  note: release at %s exists but does not cover (no ordering guarantee)\n", r.Instr)
+		}
+	}
+
+	if wit, ok := explore.FindNoSleep(pkg, explore.Options{MaxSchedules: 2000}); ok {
+		fmt.Printf("\ndynamic witness: execution #%d quiesced with the wake lock held\n", wit.Executions)
+		fmt.Println("(e.g. resume -> pause taking the keep-branch -> home screen, battery drains)")
+	}
+}

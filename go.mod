@@ -1,0 +1,3 @@
+module nadroid
+
+go 1.22

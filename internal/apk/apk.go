@@ -1,0 +1,34 @@
+// Package apk bundles a program and its manifest into the unit nAdroid
+// analyzes — the stand-in for an Android APK package.
+package apk
+
+import (
+	"fmt"
+
+	"nadroid/internal/ir"
+	"nadroid/internal/manifest"
+)
+
+// Package is one analyzable application.
+type Package struct {
+	Name     string
+	Program  *ir.Program
+	Manifest *manifest.Manifest
+}
+
+// Validate checks the package for structural problems: IR invariants and
+// manifest components whose classes do not exist.
+func (p *Package) Validate() error {
+	if err := p.Program.Validate(); err != nil {
+		return err
+	}
+	for _, c := range p.Manifest.Components() {
+		if p.Program.Class(c.Class) == nil {
+			return fmt.Errorf("apk %s: manifest %s component %s has no class", p.Name, c.Kind, c.Class)
+		}
+	}
+	return nil
+}
+
+// Size returns total instruction count (the corpus LOC stand-in).
+func (p *Package) Size() int { return p.Program.Size() }

@@ -1,0 +1,139 @@
+package appbuilder
+
+import (
+	"testing"
+
+	"nadroid/internal/framework"
+	"nadroid/internal/ir"
+)
+
+func TestBuildValidates(t *testing.T) {
+	b := New("demo")
+	act := b.Activity("d/A")
+	oc := act.Method("onCreate", 1)
+	oc.Goto("nowhere") // invalid: label never defined
+	pkg, err := b.Build()
+	if err == nil {
+		t.Fatalf("expected validation error, got package %v", pkg.Name)
+	}
+}
+
+func TestComponentDeclaration(t *testing.T) {
+	b := New("demo")
+	b.MainActivity("d/Main")
+	b.Activity("d/Other")
+	b.UnreachableActivity("d/Dead")
+	b.Service("d/Svc")
+	b.Receiver("d/Rcv")
+	for _, cls := range []string{"d/Main", "d/Other", "d/Dead", "d/Svc", "d/Rcv"} {
+		if b.Program().Class(cls) == nil {
+			t.Errorf("missing class %s", cls)
+		}
+	}
+	pkg := b.MustBuild()
+	if pkg.Manifest.MainActivity().Class != "d/Main" {
+		t.Error("main activity not marked")
+	}
+	if pkg.Manifest.Component("d/Dead").Reachable {
+		t.Error("unreachable activity must be marked")
+	}
+	if got := pkg.Manifest.Component("d/Svc").Kind.String(); got != "service" {
+		t.Errorf("service kind = %s", got)
+	}
+}
+
+func TestSupertypeWiring(t *testing.T) {
+	b := New("demo")
+	cases := map[string]string{
+		b.HandlerClass("d/H").Name():   framework.Handler,
+		b.AsyncTaskClass("d/T").Name(): framework.AsyncTask,
+		b.ThreadClass("d/W").Name():    framework.Thread,
+	}
+	for cls, super := range cases {
+		if got := b.Program().Class(cls).Super; got != super {
+			t.Errorf("%s super = %s, want %s", cls, got, super)
+		}
+	}
+	r := b.Runnable("d/R")
+	if len(r.Class().Interfaces) != 1 || r.Class().Interfaces[0] != framework.Runnable {
+		t.Error("Runnable interface missing")
+	}
+	sc := b.ServiceConn("d/C")
+	if sc.Class().Interfaces[0] != framework.ServiceConnection {
+		t.Error("ServiceConnection interface missing")
+	}
+}
+
+func TestMethodBuilderEmitsExpectedInstrs(t *testing.T) {
+	b := New("demo")
+	c := b.Class("d/C", framework.Object)
+	c.Field("f", "d/V")
+	b.Class("d/V", framework.Object)
+	mb := c.Method("m", 1)
+	v := mb.New("d/V")
+	mb.PutThis("f", v)
+	got := mb.GetThis("f")
+	mb.IfNonNull(got, "ok")
+	mb.Return()
+	mb.Label("ok")
+	mb.Use(got, "d/V")
+	mb.ReturnReg(got)
+
+	m := mb.Method()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	wantOps := []ir.Op{ir.OpNew, ir.OpPutField, ir.OpGetField, ir.OpIfNonNull, ir.OpReturn, ir.OpInvoke, ir.OpReturn}
+	if len(m.Instrs) != len(wantOps) {
+		t.Fatalf("instr count = %d, want %d", len(m.Instrs), len(wantOps))
+	}
+	for i, op := range wantOps {
+		if m.Instrs[i].Op != op {
+			t.Errorf("instr %d = %v, want %v", i, m.Instrs[i].Op, op)
+		}
+	}
+	if m.NumRegs < 3 {
+		t.Errorf("NumRegs = %d, want >= 3", m.NumRegs)
+	}
+}
+
+func TestFreeThisEmitsNullStore(t *testing.T) {
+	b := New("demo")
+	c := b.Class("d/C", framework.Object)
+	c.Field("f", "d/V")
+	b.Class("d/V", framework.Object)
+	mb := c.Method("clear", 0)
+	mb.FreeThis("f")
+	mb.Return()
+	m := mb.Method()
+	oi := ir.ComputeOrigins(m)
+	if !ir.IsFree(oi, m, 1) {
+		t.Error("FreeThis must produce a free (putfield null)")
+	}
+}
+
+func TestSyncMethodFlag(t *testing.T) {
+	b := New("demo")
+	c := b.Class("d/C", framework.Object)
+	sm := c.SyncMethod("locked", 0)
+	sm.Return()
+	if !sm.Method().Synch {
+		t.Error("SyncMethod must set Synch")
+	}
+}
+
+func TestMethodOn(t *testing.T) {
+	b := New("demo")
+	b.Class("d/C", framework.Object)
+	mb := b.MethodOn("d/C", "late", 0)
+	mb.Return()
+	if b.Program().Class("d/C").Method("late") == nil {
+		t.Error("MethodOn must attach the method")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MethodOn on unknown class must panic")
+		}
+	}()
+	b.MethodOn("d/Missing", "m", 0)
+}

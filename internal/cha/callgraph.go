@@ -1,0 +1,199 @@
+package cha
+
+import (
+	"sort"
+
+	"nadroid/internal/ir"
+)
+
+// CallSite identifies one invoke instruction.
+type CallSite struct {
+	Caller string // canonical method ref
+	Index  int
+}
+
+// Edge is one resolved call edge.
+type Edge struct {
+	Site   CallSite
+	Callee string // canonical method ref
+}
+
+// CallGraph maps methods to their outgoing edges. It is built once per
+// analysis over the set of reachable methods, seeded from thread entry
+// points.
+type CallGraph struct {
+	h *Hierarchy
+	// out[m] lists edges leaving method m, sorted by site then callee.
+	out map[string][]Edge
+	// in[m] lists methods calling m.
+	in map[string][]string
+	// reachable records every method reached during construction.
+	reachable map[string]*ir.Method
+}
+
+// SkipFunc lets the caller exclude call edges: threadification passes a
+// predicate that cuts posting-API edges (those become thread spawns, not
+// calls) and framework intrinsics.
+type SkipFunc func(caller *ir.Method, idx int, in ir.Instr) bool
+
+// BuildCallGraph explores methods reachable from entries, resolving
+// virtual calls with CHA refined by intra-procedural allocation-type
+// tracking: when the receiver register definitely holds an object
+// allocated at a known site, dispatch uses that exact class.
+func BuildCallGraph(h *Hierarchy, entries []*ir.Method, skip SkipFunc) *CallGraph {
+	g := &CallGraph{
+		h:         h,
+		out:       make(map[string][]Edge),
+		in:        make(map[string][]string),
+		reachable: make(map[string]*ir.Method),
+	}
+	var work []*ir.Method
+	push := func(m *ir.Method) {
+		if m == nil || m.Abstract {
+			return
+		}
+		if _, ok := g.reachable[m.Ref()]; ok {
+			return
+		}
+		g.reachable[m.Ref()] = m
+		work = append(work, m)
+	}
+	for _, e := range entries {
+		push(e)
+	}
+	for len(work) > 0 {
+		m := work[len(work)-1]
+		work = work[:len(work)-1]
+		oi := ir.ComputeOrigins(m)
+		for i, in := range m.Instrs {
+			if in.Op != ir.OpInvoke && in.Op != ir.OpInvokeStatic {
+				continue
+			}
+			if skip != nil && skip(m, i, in) {
+				continue
+			}
+			for _, tgt := range g.ResolveCall(m, oi, i) {
+				g.addEdge(CallSite{m.Ref(), i}, tgt)
+				push(tgt)
+			}
+		}
+	}
+	for m := range g.out {
+		sort.Slice(g.out[m], func(a, b int) bool {
+			ea, eb := g.out[m][a], g.out[m][b]
+			if ea.Site.Index != eb.Site.Index {
+				return ea.Site.Index < eb.Site.Index
+			}
+			return ea.Callee < eb.Callee
+		})
+	}
+	return g
+}
+
+// ResolveCall returns the possible concrete targets of the invoke at
+// instruction i of m, using origin info to sharpen the receiver type.
+func (g *CallGraph) ResolveCall(m *ir.Method, oi *ir.OriginInfo, i int) []*ir.Method {
+	in := m.Instrs[i]
+	switch in.Op {
+	case ir.OpInvokeStatic:
+		if t := g.h.Resolve(in.Callee.Class, in.Callee.Name); t != nil {
+			return []*ir.Method{t}
+		}
+		return nil
+	case ir.OpInvoke:
+		recvType := g.ReceiverType(m, oi, i)
+		if recvType.exact {
+			if t := g.h.Resolve(recvType.class, in.Callee.Name); t != nil {
+				return []*ir.Method{t}
+			}
+			return nil
+		}
+		return g.h.Dispatch(recvType.class, in.Callee.Name)
+	}
+	return nil
+}
+
+// recvType is the inferred receiver type of a virtual call.
+type recvType struct {
+	class string
+	exact bool // true when the allocation site pins the concrete class
+}
+
+// ReceiverType infers the receiver's type for the invoke at index i:
+// exact when the register's origin is a New at a known site, the
+// receiver class otherwise ("this" calls), else the static callee class.
+func (g *CallGraph) ReceiverType(m *ir.Method, oi *ir.OriginInfo, i int) recvType {
+	in := m.Instrs[i]
+	o := oi.At(i, in.B)
+	switch o.Kind {
+	case ir.OriginNew:
+		return recvType{class: m.Instrs[o.Site].Type, exact: true}
+	case ir.OriginParam:
+		if in.B == 0 && !m.Static {
+			// `this` call: the runtime class is m.Class or a subclass
+			// that inherits m; CHA over m.Class is the safe answer.
+			return recvType{class: m.Class}
+		}
+	case ir.OriginLoad:
+		// Loaded from a field: use the field's declared type when known.
+		fi := m.Instrs[o.Site]
+		if f := g.h.DeclaringClassOfField(fi.Field); f != nil && f.Type != "" {
+			return recvType{class: f.Type}
+		}
+	}
+	return recvType{class: in.Callee.Class}
+}
+
+// Reachable returns all methods reached during construction, sorted.
+func (g *CallGraph) Reachable() []*ir.Method {
+	refs := make([]string, 0, len(g.reachable))
+	for r := range g.reachable {
+		refs = append(refs, r)
+	}
+	sort.Strings(refs)
+	out := make([]*ir.Method, len(refs))
+	for i, r := range refs {
+		out[i] = g.reachable[r]
+	}
+	return out
+}
+
+// IsReachable reports whether method ref was reached.
+func (g *CallGraph) IsReachable(ref string) bool {
+	_, ok := g.reachable[ref]
+	return ok
+}
+
+// Callees returns edges leaving method ref.
+func (g *CallGraph) Callees(ref string) []Edge { return g.out[ref] }
+
+// Callers returns the methods with an edge into ref.
+func (g *CallGraph) Callers(ref string) []string { return g.in[ref] }
+
+func (g *CallGraph) addEdge(site CallSite, callee *ir.Method) {
+	for _, e := range g.out[site.Caller] {
+		if e.Site == site && e.Callee == callee.Ref() {
+			return
+		}
+	}
+	g.out[site.Caller] = append(g.out[site.Caller], Edge{Site: site, Callee: callee.Ref()})
+	g.in[callee.Ref()] = append(g.in[callee.Ref()], site.Caller)
+}
+
+// TransitiveCallees returns every method reachable from entry by call
+// edges (including entry itself), as a set.
+func (g *CallGraph) TransitiveCallees(entry string) map[string]bool {
+	seen := map[string]bool{entry: true}
+	work := []string{entry}
+	for len(work) > 0 {
+		m := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, e := range g.out[m] {
+			if !seen[e.Callee] {
+				seen[e.Callee] = true
+				work = append(work, e.Callee)
+			}
+		}
+	}
+	return seen
+}

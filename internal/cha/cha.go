@@ -1,0 +1,179 @@
+// Package cha implements class-hierarchy analysis: subtype queries,
+// virtual-dispatch resolution and a CHA-based call graph that later
+// stages refine with points-to facts.
+package cha
+
+import (
+	"fmt"
+	"sort"
+
+	"nadroid/internal/ir"
+)
+
+// Hierarchy caches subtype relations and method resolution over a sealed
+// program. It satisfies framework.Hierarchy.
+type Hierarchy struct {
+	prog *ir.Program
+	// supers[c] is the transitive set of superclasses and implemented
+	// interfaces of c, including c itself.
+	supers map[string]map[string]bool
+	// subsOf[s] lists concrete classes that are subtypes of s, sorted.
+	subsOf map[string][]string
+}
+
+// New builds the hierarchy. Unknown supertype names are tolerated (they
+// behave as opaque externals); analyses only need what is declared.
+func New(prog *ir.Program) *Hierarchy {
+	h := &Hierarchy{
+		prog:   prog,
+		supers: make(map[string]map[string]bool),
+		subsOf: make(map[string][]string),
+	}
+	for _, c := range prog.Classes() {
+		h.supers[c.Name] = h.computeSupers(c.Name, make(map[string]bool))
+	}
+	for _, c := range prog.Classes() {
+		if c.IsIface {
+			continue
+		}
+		for s := range h.supers[c.Name] {
+			h.subsOf[s] = append(h.subsOf[s], c.Name)
+		}
+	}
+	for s := range h.subsOf {
+		sort.Strings(h.subsOf[s])
+	}
+	return h
+}
+
+func (h *Hierarchy) computeSupers(name string, guard map[string]bool) map[string]bool {
+	if s, ok := h.supers[name]; ok {
+		return s
+	}
+	if guard[name] {
+		panic("cha: cyclic class hierarchy at " + name)
+	}
+	guard[name] = true
+	set := map[string]bool{name: true}
+	c := h.prog.Class(name)
+	if c == nil {
+		h.supers[name] = set
+		return set
+	}
+	if c.Super != "" {
+		for s := range h.computeSupers(c.Super, guard) {
+			set[s] = true
+		}
+	}
+	for _, i := range c.Interfaces {
+		for s := range h.computeSupers(i, guard) {
+			set[s] = true
+		}
+	}
+	h.supers[name] = set
+	return set
+}
+
+// IsSubtypeOf reports whether sub is super or transitively extends or
+// implements it.
+func (h *Hierarchy) IsSubtypeOf(sub, super string) bool {
+	s, ok := h.supers[sub]
+	if !ok {
+		return sub == super
+	}
+	return s[super]
+}
+
+// Program returns the underlying program.
+func (h *Hierarchy) Program() *ir.Program { return h.prog }
+
+// Resolve finds the implementation of method name on class cls by
+// walking the superclass chain (Java virtual dispatch). It returns nil
+// if no implementation exists (abstract or unknown).
+func (h *Hierarchy) Resolve(cls, name string) *ir.Method {
+	for cur := cls; cur != ""; {
+		c := h.prog.Class(cur)
+		if c == nil {
+			return nil
+		}
+		if m := c.Method(name); m != nil {
+			if m.Abstract {
+				return nil
+			}
+			return m
+		}
+		cur = c.Super
+	}
+	return nil
+}
+
+// ResolveDeclared is like Resolve but also returns abstract declarations;
+// used to check whether a method exists at all on a type.
+func (h *Hierarchy) ResolveDeclared(cls, name string) *ir.Method {
+	for cur := cls; cur != ""; {
+		c := h.prog.Class(cur)
+		if c == nil {
+			return nil
+		}
+		if m := c.Method(name); m != nil {
+			return m
+		}
+		cur = c.Super
+	}
+	return nil
+}
+
+// ImplementorsOf returns the concrete classes that are subtypes of cls
+// (including cls itself when concrete), sorted.
+func (h *Hierarchy) ImplementorsOf(cls string) []string {
+	return h.subsOf[cls]
+}
+
+// Dispatch resolves a virtual call on a receiver whose concrete runtime
+// class might be any concrete subtype of staticType: it returns the set
+// of possible target methods (CHA dispatch).
+func (h *Hierarchy) Dispatch(staticType, name string) []*ir.Method {
+	var out []*ir.Method
+	seen := make(map[string]bool)
+	for _, impl := range h.ImplementorsOf(staticType) {
+		if m := h.Resolve(impl, name); m != nil && !seen[m.Ref()] {
+			seen[m.Ref()] = true
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ref() < out[j].Ref() })
+	return out
+}
+
+// MethodByRef finds a method from its "Class.Name" spelling.
+func (h *Hierarchy) MethodByRef(ref string) (*ir.Method, error) {
+	cls, name, ok := ir.SplitRef(ref)
+	if !ok {
+		return nil, fmt.Errorf("cha: malformed method ref %q", ref)
+	}
+	c := h.prog.Class(cls)
+	if c == nil {
+		return nil, fmt.Errorf("cha: unknown class in ref %q", ref)
+	}
+	m := c.Method(name)
+	if m == nil {
+		return nil, fmt.Errorf("cha: unknown method in ref %q", ref)
+	}
+	return m, nil
+}
+
+// DeclaringClassOfField resolves a field reference against the hierarchy:
+// a reference to C.f may denote a field declared on a superclass of C.
+func (h *Hierarchy) DeclaringClassOfField(ref ir.FieldRef) *ir.Field {
+	for cur := ref.Class; cur != ""; {
+		c := h.prog.Class(cur)
+		if c == nil {
+			return nil
+		}
+		if f := c.Field(ref.Name); f != nil {
+			return f
+		}
+		cur = c.Super
+	}
+	return nil
+}

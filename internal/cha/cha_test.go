@@ -1,0 +1,174 @@
+package cha
+
+import (
+	"testing"
+
+	"nadroid/internal/appbuilder"
+	"nadroid/internal/framework"
+	"nadroid/internal/ir"
+)
+
+func fixture(t *testing.T) *Hierarchy {
+	t.Helper()
+	b := appbuilder.New("cha")
+	b.Class("c/Base", framework.Object).Method("m", 0).Return()
+	sub := b.Class("c/Sub", "c/Base")
+	sub.Method("m", 0).Return()
+	b.Class("c/SubSub", "c/Sub") // inherits Sub.m
+	b.Runnable("c/R").Method("run", 0).Return()
+	pkg, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(pkg.Program)
+}
+
+func TestIsSubtypeOf(t *testing.T) {
+	h := fixture(t)
+	cases := []struct {
+		sub, super string
+		want       bool
+	}{
+		{"c/Sub", "c/Base", true},
+		{"c/SubSub", "c/Base", true},
+		{"c/Base", "c/Sub", false},
+		{"c/R", framework.Runnable, true},
+		{"c/R", framework.Object, true},
+		{"c/Base", framework.Runnable, false},
+		{"c/Base", "c/Base", true},
+	}
+	for _, c := range cases {
+		if got := h.IsSubtypeOf(c.sub, c.super); got != c.want {
+			t.Errorf("IsSubtypeOf(%s, %s) = %v, want %v", c.sub, c.super, got, c.want)
+		}
+	}
+}
+
+func TestResolveWalksSuperChain(t *testing.T) {
+	h := fixture(t)
+	m := h.Resolve("c/SubSub", "m")
+	if m == nil || m.Class != "c/Sub" {
+		t.Fatalf("Resolve(SubSub, m) = %v, want Sub.m", m)
+	}
+	if h.Resolve("c/Base", "nonexistent") != nil {
+		t.Error("unknown methods resolve to nil")
+	}
+	// Abstract framework methods resolve to nil.
+	if h.Resolve("c/R", "nosuch") != nil {
+		t.Error("missing method must be nil")
+	}
+}
+
+func TestDispatchCHA(t *testing.T) {
+	h := fixture(t)
+	targets := h.Dispatch("c/Base", "m")
+	if len(targets) != 2 {
+		t.Fatalf("Dispatch(Base, m) = %d targets, want 2 (Base.m, Sub.m)", len(targets))
+	}
+	refs := map[string]bool{}
+	for _, m := range targets {
+		refs[m.Ref()] = true
+	}
+	if !refs["c/Base.m"] || !refs["c/Sub.m"] {
+		t.Errorf("targets = %v", refs)
+	}
+}
+
+func TestImplementorsSorted(t *testing.T) {
+	h := fixture(t)
+	impls := h.ImplementorsOf("c/Base")
+	want := []string{"c/Base", "c/Sub", "c/SubSub"}
+	if len(impls) != len(want) {
+		t.Fatalf("implementors = %v", impls)
+	}
+	for i := range want {
+		if impls[i] != want[i] {
+			t.Errorf("implementors[%d] = %s, want %s", i, impls[i], want[i])
+		}
+	}
+}
+
+func TestMethodByRef(t *testing.T) {
+	h := fixture(t)
+	if _, err := h.MethodByRef("c/Base.m"); err != nil {
+		t.Errorf("MethodByRef: %v", err)
+	}
+	for _, bad := range []string{"nodots", "c/Missing.m", "c/Base.missing"} {
+		if _, err := h.MethodByRef(bad); err == nil {
+			t.Errorf("MethodByRef(%q) should fail", bad)
+		}
+	}
+}
+
+func TestCallGraphWithOriginRefinement(t *testing.T) {
+	b := appbuilder.New("cg")
+	b.Class("g/Base", framework.Object).Method("m", 0).Return()
+	sub := b.Class("g/Sub", "g/Base")
+	subM := sub.Method("m", 0)
+	subM.InvokeThis("helper")
+	subM.Return()
+	sub.Method("helper", 0).Return()
+	main := b.Class("g/Main", framework.Object)
+	mm := main.Method("main", 0)
+	mm.Method().Static = true
+	o := mm.New("g/Sub")
+	mm.InvokeVoid(o, "g/Base", "m") // static type Base, runtime Sub
+	mm.Return()
+	pkg, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := New(pkg.Program)
+	g := BuildCallGraph(h, []*ir.Method{mm.Method()}, nil)
+	if !g.IsReachable("g/Sub.m") {
+		t.Error("origin refinement must dispatch to Sub.m")
+	}
+	if g.IsReachable("g/Base.m") {
+		t.Error("exact allocation type must exclude Base.m")
+	}
+	if !g.IsReachable("g/Sub.helper") {
+		t.Error("transitive callee must be reachable")
+	}
+	callees := g.TransitiveCallees("g/Main.main")
+	if !callees["g/Sub.helper"] {
+		t.Errorf("TransitiveCallees = %v", callees)
+	}
+}
+
+func TestCallGraphSkipFunc(t *testing.T) {
+	b := appbuilder.New("cgskip")
+	c := b.Class("s/C", framework.Object)
+	c.Method("callee", 0).Return()
+	mm := c.Method("main", 0)
+	mm.InvokeThis("callee")
+	mm.Return()
+	pkg, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := New(pkg.Program)
+	skip := func(m *ir.Method, idx int, in ir.Instr) bool { return true }
+	g := BuildCallGraph(h, []*ir.Method{mm.Method()}, skip)
+	if g.IsReachable("s/C.callee") {
+		t.Error("skip must cut all edges")
+	}
+}
+
+func TestFieldResolutionAcrossHierarchy(t *testing.T) {
+	b := appbuilder.New("fields")
+	b.Class("f/Base", framework.Object).Field("x", "f/V")
+	b.Class("f/Sub", "f/Base")
+	b.Class("f/V", framework.Object)
+	pkg, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := New(pkg.Program)
+	f := h.DeclaringClassOfField(ir.FieldRef{Class: "f/Sub", Name: "x"})
+	if f == nil || f.Class != "f/Base" {
+		t.Errorf("field x should resolve to f/Base, got %v", f)
+	}
+	if h.DeclaringClassOfField(ir.FieldRef{Class: "f/Sub", Name: "missing"}) != nil {
+		t.Error("missing fields resolve to nil")
+	}
+}

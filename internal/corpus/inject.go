@@ -1,0 +1,171 @@
+package corpus
+
+import (
+	"fmt"
+
+	"nadroid/internal/apk"
+	"nadroid/internal/appbuilder"
+	"nadroid/internal/framework"
+)
+
+// InjectionKind enumerates the artificial UAF shapes of the §8.6
+// false-negative study (Table 2). The first five mirror the origin
+// taxonomy; the last two reproduce the paper's two false-negative
+// mechanisms.
+type InjectionKind int
+
+const (
+	// InjectECEC seeds an entry-callback vs entry-callback UAF.
+	InjectECEC InjectionKind = iota
+	// InjectECPC seeds an entry-callback vs posted-callback UAF.
+	InjectECPC
+	// InjectPCPC seeds a posted vs posted UAF.
+	InjectPCPC
+	// InjectCRT seeds a callback vs reachable-thread UAF.
+	InjectCRT
+	// InjectCNT seeds a callback vs non-reachable-thread UAF.
+	InjectCNT
+	// InjectHiddenBinder routes the use through an IBinder registered
+	// with the framework — a call path static analysis cannot see
+	// ("Missed by detection" in Table 2).
+	InjectHiddenBinder
+	// InjectErrorFinish places a finish() on an error path of the
+	// freeing callback, which the unsound CHB filter wrongly trusts
+	// ("Pruned by unsound filters" in Table 2).
+	InjectErrorFinish
+)
+
+var injectionNames = [...]string{"EC-EC", "EC-PC", "PC-PC", "C-RT", "C-NT", "hidden-binder", "error-finish"}
+
+func (k InjectionKind) String() string {
+	if int(k) < len(injectionNames) {
+		return injectionNames[k]
+	}
+	return fmt.Sprintf("inject(%d)", int(k))
+}
+
+// InjectedSite records where one artificial UAF was planted.
+type InjectedSite struct {
+	Kind  InjectionKind
+	Class string // class declaring the shared field
+	Field string
+}
+
+// BuildInjected builds the spec's app with artificial UAFs added,
+// returning the package and the planted sites.
+func (s Spec) BuildInjected(kinds []InjectionKind) (*apk.Package, []InjectedSite) {
+	g := newGen(s.Name)
+	s.emit(g)
+	var sites []InjectedSite
+	for _, k := range kinds {
+		var cls, field string
+		switch k {
+		case InjectECEC:
+			cls, field = g.trueBackButton()
+		case InjectECPC:
+			cls, field = g.trueServiceUAF()
+		case InjectPCPC:
+			cls, field = g.truePostedUAF()
+		case InjectCRT:
+			cls, field = g.injectCRT()
+		case InjectCNT:
+			cls, field = g.trueThreadUAF()
+		case InjectHiddenBinder:
+			cls, field = g.injectHiddenBinder()
+		case InjectErrorFinish:
+			cls, field = g.injectErrorFinish()
+		}
+		sites = append(sites, InjectedSite{Kind: k, Class: cls, Field: field})
+	}
+	return g.finish().MustBuild(), sites
+}
+
+// injectCRT: a click callback starts a thread that frees the field the
+// callback then uses — the freeing thread is Reachable from the
+// callback.
+func (g *gen) injectCRT() (string, string) {
+	i := g.next()
+	field := g.newField("crt", i)
+	actCls := g.act.Name()
+	g.allocInCreate(field)
+	thrCls := g.cls(fmt.Sprintf("CRTThr%d", i))
+	th := g.b.ThreadClass(thrCls)
+	th.Field("outer", actCls)
+	run := th.Method("run", 0)
+	o := run.GetThis("outer")
+	run.Free(o, actCls, field)
+	run.Return()
+	g.listener(fmt.Sprintf("CRTUser%d", i), func(mb *appbuilder.MethodBuilder, outer int) {
+		t := mb.New(thrCls)
+		mb.PutField(t, thrCls, "outer", outer)
+		mb.InvokeVoid(t, thrCls, "start")
+		useField(mb, outer, actCls, field, g.valCls())
+	})
+	return actCls, field
+}
+
+// injectHiddenBinder: the use lives in an IBinder.transact callback
+// registered through ServiceManager.addService. The dynamic runtime
+// delivers transact; the static call graph has no edge to it, so the
+// warning is missed (the Mms rows of Table 2).
+func (g *gen) injectHiddenBinder() (string, string) {
+	i := g.next()
+	field := g.newField("hbind", i)
+	actCls := g.act.Name()
+	g.allocInCreate(field)
+	bindCls := g.cls(fmt.Sprintf("HBinder%d", i))
+	bind := g.b.Class(bindCls, framework.Binder)
+	bind.Field("outer", actCls)
+	tm := bind.Method("transact", 1)
+	o := tm.GetThis("outer")
+	useField(tm, o, actCls, field, g.valCls())
+	tm.Return()
+	bv := g.onCreate.New(bindCls)
+	g.onCreate.PutField(bv, bindCls, "outer", g.onCreate.This())
+	sm := g.onCreate.New(framework.ServiceManager)
+	g.onCreate.InvokeVoid(sm, framework.ServiceManager, "addService", bv)
+	g.listener(fmt.Sprintf("HBFreer%d", i), func(mb *appbuilder.MethodBuilder, outer int) {
+		mb.Free(outer, actCls, field)
+	})
+	return actCls, field
+}
+
+// injectErrorFinish: the freeing callback reaches finish() only on an
+// error path, so CHB's may-analysis wrongly prunes the real UAF (the
+// Browser/Puzzles rows of Table 2).
+func (g *gen) injectErrorFinish() (string, string) {
+	i := g.next()
+	actCls := g.cls(fmt.Sprintf("ErrAct%d", i))
+	act := g.b.Activity(actCls)
+	field := "f_err"
+	act.Field(field, g.valCls())
+	oc := act.Method("onCreate", 1)
+	v := oc.New(g.valCls())
+	oc.PutThis(field, v)
+	wire := func(name string, body func(mb *appbuilder.MethodBuilder, outer int)) {
+		lCls := g.cls(fmt.Sprintf("%s%d", name, i))
+		l := g.b.Class(lCls, framework.Object, framework.OnClickListener)
+		l.Field("outer", actCls)
+		mb := l.Method("onClick", 1)
+		outer := mb.GetThis("outer")
+		body(mb, outer)
+		mb.Return()
+		view := oc.New(framework.View)
+		inst := oc.New(lCls)
+		oc.PutField(inst, lCls, "outer", oc.This())
+		oc.InvokeVoid(view, framework.View, "setOnClickListener", inst)
+	}
+	wire("ErrFreer", func(mb *appbuilder.MethodBuilder, outer int) {
+		mb.IfCond("errpath")
+		mb.Goto("dofree")
+		mb.Label("errpath")
+		mb.InvokeVoid(outer, actCls, "finish")
+		mb.Label("dofree")
+		mb.Free(outer, actCls, field)
+	})
+	wire("ErrUser", func(mb *appbuilder.MethodBuilder, outer int) {
+		useField(mb, outer, actCls, field, g.valCls())
+	})
+	oc.Return()
+	return actCls, field
+}

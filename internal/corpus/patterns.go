@@ -1,0 +1,815 @@
+package corpus
+
+import (
+	"fmt"
+
+	"nadroid/internal/appbuilder"
+	"nadroid/internal/framework"
+)
+
+// gen assembles one synthetic application from pattern seeds. Every
+// pattern instance is self-contained: it owns its field(s), listener
+// class(es) and helper classes, so instances compose without aliasing.
+type gen struct {
+	b   *appbuilder.Builder
+	app string
+	// main activity shared by most patterns.
+	act      *appbuilder.ClassBuilder
+	onCreate *appbuilder.MethodBuilder
+	onStart  *appbuilder.MethodBuilder
+	seq      int
+	// extraActivities counts pattern-private activities.
+	extraActs int
+}
+
+const valSuffix = "/V"
+
+func newGen(app string) *gen {
+	g := &gen{b: appbuilder.New(app), app: app}
+	g.act = g.b.MainActivity(g.cls("Main"))
+	g.b.Class(g.valCls(), framework.Object).Method("use", 0).Return()
+	g.onCreate = g.act.Method("onCreate", 1)
+	g.onStart = g.act.Method("onStart", 0)
+	return g
+}
+
+// finish seals the open builders and returns the package.
+func (g *gen) finish() *appbuilder.Builder {
+	g.onCreate.Return()
+	g.onStart.Return()
+	return g.b
+}
+
+func (g *gen) cls(name string) string             { return g.app + "/" + name }
+func (g *gen) valCls() string                     { return g.app + valSuffix }
+func (g *gen) next() int                          { g.seq++; return g.seq }
+func (g *gen) fieldName(tag string, i int) string { return fmt.Sprintf("f_%s%d", tag, i) }
+
+// newField declares a fresh value field on the main activity.
+func (g *gen) newField(tag string, i int) string {
+	name := g.fieldName(tag, i)
+	g.act.Field(name, g.valCls())
+	return name
+}
+
+// allocInCreate allocates the field in onCreate.
+func (g *gen) allocInCreate(field string) {
+	v := g.onCreate.New(g.valCls())
+	g.onCreate.PutThis(field, v)
+}
+
+// listener declares a click-listener class wired to the main activity in
+// onCreate; body receives (method builder, register holding outer).
+func (g *gen) listener(name string, body func(mb *appbuilder.MethodBuilder, outer int)) string {
+	cls := g.cls(name)
+	l := g.b.Class(cls, framework.Object, framework.OnClickListener)
+	l.Field("outer", g.act.Name())
+	mb := l.Method("onClick", 1)
+	outer := mb.GetThis("outer")
+	body(mb, outer)
+	mb.Return()
+	// Wire in onCreate on a fresh view.
+	view := g.onCreate.New(framework.View)
+	inst := g.onCreate.New(cls)
+	g.onCreate.PutField(inst, cls, "outer", g.onCreate.This())
+	g.onCreate.InvokeVoid(view, framework.View, "setOnClickListener", inst)
+	return cls
+}
+
+// useField emits an unguarded load+dereference of act.field.
+func useField(mb *appbuilder.MethodBuilder, outer int, actCls, field, valCls string) {
+	f := mb.GetField(outer, actCls, field)
+	mb.Use(f, valCls)
+}
+
+// guardedUseField emits the §6.1.2 if-guard pattern.
+func guardedUseField(mb *appbuilder.MethodBuilder, outer int, actCls, field, valCls string, label string) {
+	chk := mb.GetField(outer, actCls, field)
+	mb.IfNull(chk, label)
+	f := mb.GetField(outer, actCls, field)
+	mb.Use(f, valCls)
+	mb.Label(label)
+}
+
+// --- true harmful patterns ----------------------------------------------
+
+// trueServiceUAF is Figure 1(a): onServiceConnected allocates, a UI
+// callback dereferences without a guard, onServiceDisconnected frees.
+// Surviving pair: EC (use) vs PC (free).
+func (g *gen) trueServiceUAF() (string, string) {
+	i := g.next()
+	field := g.newField("svc", i)
+	connCls := g.cls(fmt.Sprintf("Conn%d", i))
+	conn := g.b.ServiceConn(connCls)
+	conn.Field("outer", g.act.Name())
+	sc := conn.Method("onServiceConnected", 1)
+	o := sc.GetThis("outer")
+	v := sc.New(g.valCls())
+	sc.PutField(o, g.act.Name(), field, v)
+	sc.Return()
+	sd := conn.Method("onServiceDisconnected", 1)
+	o2 := sd.GetThis("outer")
+	sd.Free(o2, g.act.Name(), field)
+	sd.Return()
+	cn := g.onStart.New(connCls)
+	g.onStart.PutField(cn, connCls, "outer", g.onStart.This())
+	g.onStart.InvokeVoid(g.onStart.This(), g.act.Name(), "bindService", cn)
+	g.listener(fmt.Sprintf("SvcUser%d", i), func(mb *appbuilder.MethodBuilder, outer int) {
+		useField(mb, outer, g.act.Name(), field, g.valCls())
+	})
+	return g.act.Name(), field
+}
+
+// truePostedUAF is Figure 1(b): a click callback checks the field, then
+// posts a Runnable that dereferences it later; onServiceDisconnected
+// frees in between. Surviving pair: PC (use in run) vs PC (free in SD).
+func (g *gen) truePostedUAF() (string, string) {
+	i := g.next()
+	field := g.newField("post", i)
+	actCls := g.act.Name()
+	handlerCls := g.cls(fmt.Sprintf("PH%d", i))
+	g.b.HandlerClass(handlerCls)
+	hField := fmt.Sprintf("h_post%d", i)
+	g.act.Field(hField, handlerCls)
+	hr := g.onCreate.New(handlerCls)
+	g.onCreate.PutThis(hField, hr)
+
+	connCls := g.cls(fmt.Sprintf("PConn%d", i))
+	conn := g.b.ServiceConn(connCls)
+	conn.Field("outer", actCls)
+	sc := conn.Method("onServiceConnected", 1)
+	o := sc.GetThis("outer")
+	v := sc.New(g.valCls())
+	sc.PutField(o, actCls, field, v)
+	sc.Return()
+	sd := conn.Method("onServiceDisconnected", 1)
+	o2 := sd.GetThis("outer")
+	sd.Free(o2, actCls, field)
+	sd.Return()
+	cn := g.onStart.New(connCls)
+	g.onStart.PutField(cn, connCls, "outer", g.onStart.This())
+	g.onStart.InvokeVoid(g.onStart.This(), actCls, "bindService", cn)
+
+	runCls := g.cls(fmt.Sprintf("PJob%d", i))
+	run := g.b.Runnable(runCls)
+	run.Field("outer", actCls)
+	rm := run.Method("run", 0)
+	ro := rm.GetThis("outer")
+	useField(rm, ro, actCls, field, g.valCls())
+	rm.Return()
+
+	g.listener(fmt.Sprintf("Poster%d", i), func(mb *appbuilder.MethodBuilder, outer int) {
+		chk := mb.GetField(outer, actCls, field)
+		mb.IfNull(chk, "skip")
+		job := mb.New(runCls)
+		mb.PutField(job, runCls, "outer", outer)
+		hh := mb.GetField(outer, actCls, hField)
+		mb.InvokeVoid(hh, handlerCls, "post", job)
+		mb.Label("skip")
+	})
+	return actCls, field
+}
+
+// trueThreadUAF is Figure 1(c): a looper callback checks then uses; a
+// background thread frees concurrently (no common lock). Surviving pair:
+// C (use) vs NT (free).
+func (g *gen) trueThreadUAF() (string, string) {
+	i := g.next()
+	field := g.newField("thr", i)
+	actCls := g.act.Name()
+	g.allocInCreate(field)
+	thrCls := g.cls(fmt.Sprintf("Killer%d", i))
+	th := g.b.ThreadClass(thrCls)
+	th.Field("outer", actCls)
+	run := th.Method("run", 0)
+	o := run.GetThis("outer")
+	run.Free(o, actCls, field)
+	run.Return()
+	tv := g.onCreate.New(thrCls)
+	g.onCreate.PutField(tv, thrCls, "outer", g.onCreate.This())
+	g.onCreate.InvokeVoid(tv, thrCls, "start")
+	g.listener(fmt.Sprintf("ThrUser%d", i), func(mb *appbuilder.MethodBuilder, outer int) {
+		guardedUseField(mb, outer, actCls, field, g.valCls(), "skip")
+	})
+	return actCls, field
+}
+
+// trueBackButton is the §6.1.1 back-edge case: onPause frees, a UI
+// callback dereferences, and onResume does NOT re-allocate. Surviving
+// pair: EC vs EC. Lives in its own activity so the lifecycle methods do
+// not collide with other patterns.
+func (g *gen) trueBackButton() (string, string) {
+	i := g.next()
+	actCls := g.cls(fmt.Sprintf("BackAct%d", i))
+	act := g.b.Activity(actCls)
+	field := "f_back"
+	act.Field(field, g.valCls())
+	oc := act.Method("onCreate", 1)
+	v := oc.New(g.valCls())
+	oc.PutThis(field, v)
+	lCls := g.cls(fmt.Sprintf("BackUser%d", i))
+	l := g.b.Class(lCls, framework.Object, framework.OnClickListener)
+	l.Outer(actCls) // anonymous-listener idiom: inner class of the activity
+	l.Field("outer", actCls)
+	mb := l.Method("onClick", 1)
+	outer := mb.GetThis("outer")
+	useField(mb, outer, actCls, field, g.valCls())
+	mb.Return()
+	view := oc.New(framework.View)
+	inst := oc.New(lCls)
+	oc.PutField(inst, lCls, "outer", oc.This())
+	oc.InvokeVoid(view, framework.View, "setOnClickListener", inst)
+	oc.Return()
+	act.Method("onResume", 0).Return() // no re-allocation
+	op := act.Method("onPause", 0)
+	op.FreeThis(field)
+	op.Return()
+	return actCls, field
+}
+
+// --- sound-filtered patterns ---------------------------------------------
+
+// mhbService: use in onServiceConnected, free in onServiceDisconnected
+// (Figure 4(a) modulo the getter). Pruned by MHB-Service.
+func (g *gen) mhbService() {
+	i := g.next()
+	field := g.newField("mhbs", i)
+	actCls := g.act.Name()
+	g.allocInCreate(field)
+	connCls := g.cls(fmt.Sprintf("MConn%d", i))
+	conn := g.b.ServiceConn(connCls)
+	conn.Field("outer", actCls)
+	sc := conn.Method("onServiceConnected", 1)
+	o := sc.GetThis("outer")
+	useField(sc, o, actCls, field, g.valCls())
+	sc.Return()
+	sd := conn.Method("onServiceDisconnected", 1)
+	o2 := sd.GetThis("outer")
+	sd.Free(o2, actCls, field)
+	sd.Return()
+	cn := g.onStart.New(connCls)
+	g.onStart.PutField(cn, connCls, "outer", g.onStart.This())
+	g.onStart.InvokeVoid(g.onStart.This(), actCls, "bindService", cn)
+}
+
+// mhbTask: use in doInBackground, free in onPostExecute. Pruned by
+// MHB-AsyncTask.
+func (g *gen) mhbTask() {
+	i := g.next()
+	taskCls := g.cls(fmt.Sprintf("MTask%d", i))
+	task := g.b.AsyncTaskClass(taskCls)
+	task.Field("g", g.valCls())
+	pre := task.Method("onPreExecute", 0)
+	v := pre.New(g.valCls())
+	pre.PutThis("g", v)
+	pre.Return()
+	dib := task.Method("doInBackground", 0)
+	f := dib.GetThis("g")
+	dib.Use(f, g.valCls())
+	dib.Return()
+	post := task.Method("onPostExecute", 0)
+	post.FreeThis("g")
+	post.Return()
+	g.listener(fmt.Sprintf("TaskStart%d", i), func(mb *appbuilder.MethodBuilder, outer int) {
+		t := mb.New(taskCls)
+		mb.InvokeVoid(t, taskCls, "execute")
+	})
+}
+
+// mhbLifecycle: use in onActivityResult, free in onDestroy, own
+// activity. Pruned by MHB-Lifecycle.
+func (g *gen) mhbLifecycle() {
+	i := g.next()
+	actCls := g.cls(fmt.Sprintf("LifeAct%d", i))
+	act := g.b.Activity(actCls)
+	field := "f_life"
+	act.Field(field, g.valCls())
+	oc := act.Method("onCreate", 1)
+	v := oc.New(g.valCls())
+	oc.PutThis(field, v)
+	oc.Return()
+	oar := act.Method("onActivityResult", 1)
+	f := oar.GetThis(field)
+	oar.Use(f, g.valCls())
+	oar.Return()
+	od := act.Method("onDestroy", 0)
+	od.FreeThis(field)
+	od.Return()
+}
+
+// igLooper is Figure 4(b): a guarded use and a free, both looper
+// callbacks. Pruned by IG.
+func (g *gen) igLooper() {
+	i := g.next()
+	field := g.newField("ig", i)
+	actCls := g.act.Name()
+	g.allocInCreate(field)
+	g.listener(fmt.Sprintf("IGUser%d", i), func(mb *appbuilder.MethodBuilder, outer int) {
+		guardedUseField(mb, outer, actCls, field, g.valCls(), "skip")
+	})
+	g.listener(fmt.Sprintf("IGFreer%d", i), func(mb *appbuilder.MethodBuilder, outer int) {
+		mb.Free(outer, actCls, field)
+	})
+}
+
+// igLocked: a guarded, lock-protected use in a callback against a
+// lock-protected free in a background thread. Pruned by IG through the
+// common-lock condition.
+func (g *gen) igLocked() {
+	i := g.next()
+	field := g.newField("igl", i)
+	lockField := fmt.Sprintf("lock_igl%d", i)
+	actCls := g.act.Name()
+	g.act.Field(lockField, g.valCls())
+	g.allocInCreate(field)
+	lv := g.onCreate.New(g.valCls())
+	g.onCreate.PutThis(lockField, lv)
+
+	thrCls := g.cls(fmt.Sprintf("LockThr%d", i))
+	th := g.b.ThreadClass(thrCls)
+	th.Field("outer", actCls)
+	run := th.Method("run", 0)
+	o := run.GetThis("outer")
+	lk := run.GetField(o, actCls, lockField)
+	run.Lock(lk)
+	run.Free(o, actCls, field)
+	run.Unlock(lk)
+	run.Return()
+	tv := g.onCreate.New(thrCls)
+	g.onCreate.PutField(tv, thrCls, "outer", g.onCreate.This())
+	g.onCreate.InvokeVoid(tv, thrCls, "start")
+
+	g.listener(fmt.Sprintf("LockUser%d", i), func(mb *appbuilder.MethodBuilder, outer int) {
+		lk := mb.GetField(outer, actCls, lockField)
+		mb.Lock(lk)
+		guardedUseField(mb, outer, actCls, field, g.valCls(), "skip")
+		mb.Unlock(lk)
+	})
+}
+
+// iaAlloc is Figure 4(c): allocation dominating the use, free elsewhere.
+// Pruned by IA.
+func (g *gen) iaAlloc() {
+	i := g.next()
+	field := g.newField("ia", i)
+	actCls := g.act.Name()
+	g.listener(fmt.Sprintf("IAUser%d", i), func(mb *appbuilder.MethodBuilder, outer int) {
+		v := mb.New(g.valCls())
+		mb.PutField(outer, actCls, field, v)
+		useField(mb, outer, actCls, field, g.valCls())
+	})
+	g.listener(fmt.Sprintf("IAFreer%d", i), func(mb *appbuilder.MethodBuilder, outer int) {
+		mb.Free(outer, actCls, field)
+	})
+}
+
+// --- unsound-filtered patterns -------------------------------------------
+
+// rhbResume is Figure 4(d)-benign: onResume re-allocates, onPause frees,
+// a UI callback uses. Pruned by RHB. Own activity.
+func (g *gen) rhbResume() {
+	i := g.next()
+	actCls := g.cls(fmt.Sprintf("RhbAct%d", i))
+	act := g.b.Activity(actCls)
+	field := "f_rhb"
+	act.Field(field, g.valCls())
+	oc := act.Method("onCreate", 1)
+	v := oc.New(g.valCls())
+	oc.PutThis(field, v)
+	lCls := g.cls(fmt.Sprintf("RhbUser%d", i))
+	l := g.b.Class(lCls, framework.Object, framework.OnClickListener)
+	l.Field("outer", actCls)
+	mb := l.Method("onClick", 1)
+	outer := mb.GetThis("outer")
+	useField(mb, outer, actCls, field, g.valCls())
+	mb.Return()
+	view := oc.New(framework.View)
+	inst := oc.New(lCls)
+	oc.PutField(inst, lCls, "outer", oc.This())
+	oc.InvokeVoid(view, framework.View, "setOnClickListener", inst)
+	oc.Return()
+	orr := act.Method("onResume", 0)
+	nv := orr.New(g.valCls())
+	orr.PutThis(field, nv)
+	orr.Return()
+	op := act.Method("onPause", 0)
+	op.FreeThis(field)
+	op.Return()
+}
+
+// chbFinish is Figure 4(e): the freeing callback finishes the activity,
+// so the using callback cannot run afterwards. Pruned by CHB. Own
+// activity (finish would disable sibling patterns' events dynamically).
+func (g *gen) chbFinish() {
+	i := g.next()
+	actCls := g.cls(fmt.Sprintf("FinAct%d", i))
+	act := g.b.Activity(actCls)
+	field := "f_fin"
+	act.Field(field, g.valCls())
+	oc := act.Method("onCreate", 1)
+	v := oc.New(g.valCls())
+	oc.PutThis(field, v)
+	mk := func(name string, body func(mb *appbuilder.MethodBuilder, outer int)) {
+		lCls := g.cls(fmt.Sprintf("%s%d", name, i))
+		l := g.b.Class(lCls, framework.Object, framework.OnClickListener)
+		l.Field("outer", actCls)
+		mb := l.Method("onClick", 1)
+		outer := mb.GetThis("outer")
+		body(mb, outer)
+		mb.Return()
+		view := oc.New(framework.View)
+		inst := oc.New(lCls)
+		oc.PutField(inst, lCls, "outer", oc.This())
+		oc.InvokeVoid(view, framework.View, "setOnClickListener", inst)
+	}
+	mk("FinFreer", func(mb *appbuilder.MethodBuilder, outer int) {
+		mb.Free(outer, actCls, field)
+		mb.InvokeVoid(outer, actCls, "finish")
+	})
+	mk("FinUser", func(mb *appbuilder.MethodBuilder, outer int) {
+		useField(mb, outer, actCls, field, g.valCls())
+	})
+	oc.Return()
+}
+
+// chbUnbind: the freeing callback unbinds the connection whose
+// onServiceConnected is the user. Pruned by CHB.
+func (g *gen) chbUnbind() {
+	i := g.next()
+	field := g.newField("unb", i)
+	actCls := g.act.Name()
+	g.allocInCreate(field)
+	connCls := g.cls(fmt.Sprintf("UConn%d", i))
+	connField := fmt.Sprintf("conn_unb%d", i)
+	g.act.Field(connField, connCls)
+	conn := g.b.ServiceConn(connCls)
+	conn.Field("outer", actCls)
+	sc := conn.Method("onServiceConnected", 1)
+	o := sc.GetThis("outer")
+	useField(sc, o, actCls, field, g.valCls())
+	sc.Return()
+	cn := g.onCreate.New(connCls)
+	g.onCreate.PutField(cn, connCls, "outer", g.onCreate.This())
+	g.onCreate.PutThis(connField, cn)
+	g.onCreate.InvokeVoid(g.onCreate.This(), actCls, "bindService", cn)
+	g.listener(fmt.Sprintf("Unbinder%d", i), func(mb *appbuilder.MethodBuilder, outer int) {
+		c := mb.GetField(outer, actCls, connField)
+		mb.InvokeVoid(outer, actCls, "unbindService", c)
+		mb.Free(outer, actCls, field)
+	})
+}
+
+// phbPost is Figure 4(f): the use's callback posts the free's callback.
+// Pruned by PHB.
+func (g *gen) phbPost() {
+	i := g.next()
+	field := g.newField("phb", i)
+	actCls := g.act.Name()
+	g.allocInCreate(field)
+	handlerCls := g.cls(fmt.Sprintf("PhbH%d", i))
+	hField := fmt.Sprintf("h_phb%d", i)
+	g.act.Field(hField, handlerCls)
+	h := g.b.Class(handlerCls, framework.Handler)
+	h.Field("outer", actCls)
+	hm := h.Method("handleMessage", 1)
+	ho := hm.GetThis("outer")
+	hm.Free(ho, actCls, field)
+	hm.Return()
+	hr := g.onCreate.New(handlerCls)
+	g.onCreate.PutField(hr, handlerCls, "outer", g.onCreate.This())
+	g.onCreate.PutThis(hField, hr)
+	g.listener(fmt.Sprintf("PhbUser%d", i), func(mb *appbuilder.MethodBuilder, outer int) {
+		hh := mb.GetField(outer, actCls, hField)
+		msg := mb.New(framework.Message)
+		mb.InvokeVoid(hh, handlerCls, "sendMessage", msg)
+		useField(mb, outer, actCls, field, g.valCls())
+	})
+}
+
+// maGetter is Figure 4(a)'s getter idiom: f = getF(); f.use(). Pruned by
+// the unsound MA filter (the getter is assumed non-null).
+func (g *gen) maGetter() {
+	i := g.next()
+	field := g.newField("ma", i)
+	backing := fmt.Sprintf("b_ma%d", i)
+	actCls := g.act.Name()
+	g.act.Field(backing, g.valCls())
+	bv := g.onCreate.New(g.valCls())
+	g.onCreate.PutThis(backing, bv)
+	getter := fmt.Sprintf("getMA%d", i)
+	gm := g.act.Method(getter, 0)
+	r := gm.GetThis(backing)
+	gm.ReturnReg(r)
+	g.listener(fmt.Sprintf("MAUser%d", i), func(mb *appbuilder.MethodBuilder, outer int) {
+		got := mb.Invoke(outer, actCls, getter)
+		mb.PutField(outer, actCls, field, got)
+		useField(mb, outer, actCls, field, g.valCls())
+	})
+	g.listener(fmt.Sprintf("MAFreer%d", i), func(mb *appbuilder.MethodBuilder, outer int) {
+		mb.Free(outer, actCls, field)
+	})
+}
+
+// urReturn is Figure 4(g): the getter's load is only returned; the
+// caller only null-checks it. Pruned by UR.
+func (g *gen) urReturn() {
+	i := g.next()
+	field := g.newField("ur", i)
+	actCls := g.act.Name()
+	g.allocInCreate(field)
+	getter := fmt.Sprintf("getUR%d", i)
+	gm := g.act.Method(getter, 0)
+	r := gm.GetThis(field)
+	gm.ReturnReg(r)
+	g.listener(fmt.Sprintf("URCaller%d", i), func(mb *appbuilder.MethodBuilder, outer int) {
+		got := mb.Invoke(outer, actCls, getter)
+		mb.IfNull(got, "done")
+		mb.Label("done")
+	})
+	g.listener(fmt.Sprintf("URFreer%d", i), func(mb *appbuilder.MethodBuilder, outer int) {
+		mb.Free(outer, actCls, field)
+	})
+}
+
+// urParam: the load is only passed as a call argument. Pruned by UR.
+func (g *gen) urParam() {
+	i := g.next()
+	field := g.newField("urp", i)
+	actCls := g.act.Name()
+	g.allocInCreate(field)
+	helper := fmt.Sprintf("takeURP%d", i)
+	hm := g.act.Method(helper, 1)
+	hm.Return()
+	g.listener(fmt.Sprintf("URPUser%d", i), func(mb *appbuilder.MethodBuilder, outer int) {
+		f := mb.GetField(outer, actCls, field)
+		mb.InvokeVoid(outer, actCls, helper, f)
+	})
+	g.listener(fmt.Sprintf("URPFreer%d", i), func(mb *appbuilder.MethodBuilder, outer int) {
+		mb.Free(outer, actCls, field)
+	})
+}
+
+// ttThread: a use and a free purely between two native threads. Pruned
+// by TT.
+func (g *gen) ttThread() {
+	i := g.next()
+	field := g.newField("tt", i)
+	actCls := g.act.Name()
+	g.allocInCreate(field)
+	mk := func(name string, frees bool) string {
+		cls := g.cls(fmt.Sprintf("%s%d", name, i))
+		th := g.b.ThreadClass(cls)
+		th.Field("outer", actCls)
+		run := th.Method("run", 0)
+		o := run.GetThis("outer")
+		if frees {
+			run.Free(o, actCls, field)
+		} else {
+			useField(run, o, actCls, field, g.valCls())
+		}
+		run.Return()
+		tv := g.onCreate.New(cls)
+		g.onCreate.PutField(tv, cls, "outer", g.onCreate.This())
+		g.onCreate.InvokeVoid(tv, cls, "start")
+		return cls
+	}
+	mk("TTUser", false)
+	mk("TTFreer", true)
+}
+
+// --- false-positive patterns (survive all filters, dynamically safe) -----
+
+// fpPathInsens: an opaque flag makes the use and the free mutually
+// exclusive — path-insensitive analysis cannot see it (§8.5).
+func (g *gen) fpPathInsens() {
+	i := g.next()
+	field := g.newField("fpp", i)
+	actCls := g.act.Name()
+	g.allocInCreate(field)
+	g.listener(fmt.Sprintf("FPPUser%d", i), func(mb *appbuilder.MethodBuilder, outer int) {
+		// Use only when the opaque branch is taken.
+		mb.IfCond("use")
+		mb.Goto("done")
+		mb.Label("use")
+		useField(mb, outer, actCls, field, g.valCls())
+		mb.Label("done")
+	})
+	g.listener(fmt.Sprintf("FPPFreer%d", i), func(mb *appbuilder.MethodBuilder, outer int) {
+		// Free only when the opaque branch is NOT taken.
+		mb.IfCond("skip")
+		mb.Free(outer, actCls, field)
+		mb.Label("skip")
+	})
+}
+
+// fpPointsTo: a static factory's allocation site is shared across call
+// sites (no context on static methods), so two distinct runtime holders
+// alias statically (§8.5 "Points-to Analysis").
+func (g *gen) fpPointsTo() {
+	i := g.next()
+	actCls := g.act.Name()
+	holderCls := g.cls(fmt.Sprintf("Holder%d", i))
+	holder := g.b.Class(holderCls, framework.Object)
+	holder.Field("v", g.valCls())
+	facCls := g.cls(fmt.Sprintf("Factory%d", i))
+	fac := g.b.Class(facCls, framework.Object)
+	fm := fac.Method("make", 0)
+	fm.Method().Static = true
+	hv := fm.New(holderCls)
+	fm.ReturnReg(hv)
+
+	fa := fmt.Sprintf("ha_fpt%d", i)
+	fb := fmt.Sprintf("hb_fpt%d", i)
+	g.act.Field(fa, holderCls)
+	g.act.Field(fb, holderCls)
+	ha := g.onCreate.InvokeStatic(facCls, "make")
+	vv := g.onCreate.New(g.valCls())
+	g.onCreate.PutField(ha, holderCls, "v", vv)
+	g.onCreate.PutThis(fa, ha)
+	hb := g.onCreate.InvokeStatic(facCls, "make")
+	vb := g.onCreate.New(g.valCls())
+	g.onCreate.PutField(hb, holderCls, "v", vb)
+	g.onCreate.PutThis(fb, hb)
+
+	g.listener(fmt.Sprintf("FPTUser%d", i), func(mb *appbuilder.MethodBuilder, outer int) {
+		h := mb.GetField(outer, actCls, fa)
+		v := mb.GetField(h, holderCls, "v")
+		mb.Use(v, g.valCls())
+	})
+	g.listener(fmt.Sprintf("FPTFreer%d", i), func(mb *appbuilder.MethodBuilder, outer int) {
+		h := mb.GetField(outer, actCls, fb)
+		mb.Free(h, holderCls, "v")
+	})
+}
+
+// fpNotReach: a complete UAF inside an activity no intent can reach —
+// statically analyzed, dynamically dead (§8.5 "Not Reachable").
+func (g *gen) fpNotReach() {
+	i := g.next()
+	actCls := g.cls(fmt.Sprintf("DeadAct%d", i))
+	act := g.b.UnreachableActivity(actCls)
+	field := "f_dead"
+	act.Field(field, g.valCls())
+	oc := act.Method("onCreate", 1)
+	lCls := g.cls(fmt.Sprintf("DeadUser%d", i))
+	l := g.b.Class(lCls, framework.Object, framework.OnClickListener)
+	l.Field("outer", actCls)
+	mb := l.Method("onClick", 1)
+	outer := mb.GetThis("outer")
+	useField(mb, outer, actCls, field, g.valCls())
+	mb.Return()
+	view := oc.New(framework.View)
+	inst := oc.New(lCls)
+	oc.PutField(inst, lCls, "outer", oc.This())
+	oc.InvokeVoid(view, framework.View, "setOnClickListener", inst)
+	oc.Return()
+	op := act.Method("onPause", 0)
+	op.FreeThis(field)
+	op.Return()
+}
+
+// fpMissingHB: the freeing callback hides the view whose listener is the
+// user — UI semantics static analysis does not model (§8.5 "Missing
+// Happens-Before").
+func (g *gen) fpMissingHB() {
+	i := g.next()
+	field := g.newField("fph", i)
+	viewField := fmt.Sprintf("view_fph%d", i)
+	actCls := g.act.Name()
+	g.act.Field(viewField, framework.View)
+	g.allocInCreate(field)
+
+	// The user's listener is registered on a dedicated view stored in a
+	// field so the freer can hide it.
+	userCls := g.cls(fmt.Sprintf("FPHUser%d", i))
+	l := g.b.Class(userCls, framework.Object, framework.OnClickListener)
+	l.Field("outer", actCls)
+	mb := l.Method("onClick", 1)
+	outer := mb.GetThis("outer")
+	useField(mb, outer, actCls, field, g.valCls())
+	mb.Return()
+	vb := g.onCreate.New(framework.View)
+	g.onCreate.PutThis(viewField, vb)
+	inst := g.onCreate.New(userCls)
+	g.onCreate.PutField(inst, userCls, "outer", g.onCreate.This())
+	g.onCreate.InvokeVoid(vb, framework.View, "setOnClickListener", inst)
+
+	g.listener(fmt.Sprintf("FPHFreer%d", i), func(mb *appbuilder.MethodBuilder, outer int) {
+		mb.Free(outer, actCls, field)
+		v := mb.GetField(outer, actCls, viewField)
+		zero := mb.Reg()
+		mb.Int(zero, 8) // View.GONE
+		mb.InvokeVoid(v, framework.View, "setVisibility", zero)
+	})
+}
+
+// padding emits benign thread-local classes to give apps realistic bulk
+// without adding warnings.
+func (g *gen) padding(n int) {
+	for j := 0; j < n; j++ {
+		i := g.next()
+		cls := g.cls(fmt.Sprintf("Pad%d", i))
+		c := g.b.Class(cls, framework.Object)
+		c.Field("x", g.valCls())
+		work := c.Method("work", 0)
+		v := work.New(g.valCls())
+		work.PutThis("x", v)
+		got := work.GetThis("x")
+		work.Use(got, g.valCls())
+		work.FreeThis("x")
+		work.Return()
+		p := g.onCreate.New(cls)
+		g.onCreate.InvokeVoid(p, cls, "work")
+	}
+}
+
+// mhbIGService combines Figure 4(a) and 4(b): a *guarded* use in
+// onServiceConnected against a free in onServiceDisconnected. Both the
+// MHB filter (SC always precedes SD) and the IG filter (guard + looper
+// atomicity) prune it independently — the overlap Figure 5(a) reports.
+func (g *gen) mhbIGService() {
+	i := g.next()
+	field := g.newField("mig", i)
+	actCls := g.act.Name()
+	g.allocInCreate(field)
+	connCls := g.cls(fmt.Sprintf("GConn%d", i))
+	conn := g.b.ServiceConn(connCls)
+	conn.Field("outer", actCls)
+	sc := conn.Method("onServiceConnected", 1)
+	o := sc.GetThis("outer")
+	guardedUseField(sc, o, actCls, field, g.valCls(), "skip")
+	sc.Return()
+	sd := conn.Method("onServiceDisconnected", 1)
+	o2 := sd.GetThis("outer")
+	sd.Free(o2, actCls, field)
+	sd.Return()
+	cn := g.onStart.New(connCls)
+	g.onStart.PutField(cn, connCls, "outer", g.onStart.This())
+	g.onStart.InvokeVoid(g.onStart.This(), actCls, "bindService", cn)
+}
+
+// serviceDestroy: a Service component whose onStartCommand uses a field
+// that onDestroy frees — the DEvA Table 3 shape (e.g. Music's
+// MediaPlaybackService.mPlayer). Intra-class, so DEvA sees it; nAdroid
+// detects it and the MHB-Lifecycle filter prunes it.
+func (g *gen) serviceDestroy() {
+	i := g.next()
+	svcCls := g.cls(fmt.Sprintf("Svc%d", i))
+	svc := g.b.Service(svcCls)
+	field := "f_svc"
+	svc.Field(field, g.valCls())
+	oc := svc.Method("onCreate", 0)
+	v := oc.New(g.valCls())
+	oc.PutThis(field, v)
+	oc.Return()
+	osc := svc.Method("onStartCommand", 1)
+	f := osc.GetThis(field)
+	osc.Use(f, g.valCls())
+	osc.Return()
+	od := svc.Method("onDestroy", 0)
+	od.FreeThis(field)
+	od.Return()
+}
+
+// chbIntraFinish: two callbacks on the SAME activity class where the
+// freeing one calls finish() — DEvA reports it (intra-class, no HB
+// reasoning); nAdroid's unsound CHB filter prunes it (the "rest two
+// cases" of §8.7).
+func (g *gen) chbIntraFinish() {
+	i := g.next()
+	actCls := g.cls(fmt.Sprintf("CFAct%d", i))
+	act := g.b.Activity(actCls)
+	field := "f_cf"
+	act.Field(field, g.valCls())
+	oc := act.Method("onCreate", 1)
+	v := oc.New(g.valCls())
+	oc.PutThis(field, v)
+	oc.Return()
+	menu := act.Method("onCreateContextMenu", 1)
+	f := menu.GetThis(field)
+	menu.Use(f, g.valCls())
+	menu.Return()
+	obp := act.Method("onBackPressed", 0)
+	obp.FreeThis(field)
+	obp.InvokeVoid(obp.This(), actCls, "finish")
+	obp.Return()
+}
+
+// fragmentPair: a Fragment subclass with a use/free pair across its
+// lifecycle callbacks. DEvA's intra-class analysis reports it; nAdroid's
+// threadification does not model Fragment (§8.1), reproducing Table 3's
+// "Not detected" row.
+func (g *gen) fragmentPair() {
+	i := g.next()
+	fragCls := g.cls(fmt.Sprintf("Frag%d", i))
+	frag := g.b.Class(fragCls, framework.Fragment)
+	field := "f_frag"
+	frag.Field(field, g.valCls())
+	orr := frag.Method("onResume", 0)
+	f := orr.GetThis(field)
+	orr.Use(f, g.valCls())
+	orr.Return()
+	od := frag.Method("onDestroy", 0)
+	od.FreeThis(field)
+	od.Return()
+}

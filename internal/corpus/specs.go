@@ -1,0 +1,189 @@
+package corpus
+
+// specs mirrors Table 1 row by row: 7 training apps (the CAFA set the
+// unsound filters were designed on) and 20 test apps (the DroidRacer set
+// plus F-Droid picks). Counts are the paper's warning profile scaled
+// down (the subjects were 1.2k–103k LOC Java apps); true-harmful totals
+// follow the paper's Table 1 (88 overall, e.g. ConnectBot's 13).
+var specs = []Spec{
+	// --- train group (§8.2, CAFA apps) ---------------------------------
+	{
+		Name: "ToDoList", Group: "train",
+		MHBService: 1, MHBLifecycle: 1, MHBIGService: 1, IGLooper: 3, IAAlloc: 2,
+		RHBResume: 1, PHBPost: 1, MAGetter: 1, URReturn: 2, TTThread: 1,
+		Padding: 2,
+	},
+	{
+		Name: "Zxing", Group: "train",
+		MHBService: 1, MHBTask: 1, MHBIGService: 2, IGLooper: 8, IAAlloc: 4,
+		URReturn: 2, MAGetter: 1,
+		FPPathInsens: 1, FPPointsTo: 1,
+		Padding: 5,
+	},
+	{
+		Name: "Music", Group: "train",
+		TrueThread: 2,
+		MHBService: 2, MHBTask: 1, MHBLifecycle: 6, MHBIGService: 8,
+		ServiceDestroy: 1, CHBIntraFinish: 2,
+		IGLooper: 22, IGLocked: 1, IAAlloc: 10,
+		RHBResume: 1, CHBFinish: 1, CHBUnbind: 1, PHBPost: 2,
+		MAGetter: 5, URReturn: 4, URParam: 2, TTThread: 3,
+		FPPathInsens: 4, FPPointsTo: 1, FPMissingHB: 2,
+		Padding: 25,
+	},
+	{
+		Name: "MyTracks_1", Group: "train",
+		TrueService: 2, TruePosted: 26, TrueBackButton: 1,
+		MHBService: 2, ServiceDestroy: 1, MHBIGService: 3, IGLooper: 8, IAAlloc: 4,
+		CHBUnbind: 1, MAGetter: 2, URReturn: 2,
+		FPPathInsens: 2,
+		Padding:      8,
+	},
+	{
+		Name: "Browser", Group: "train",
+		FragmentPair: 1,
+		MHBService:   2, MHBTask: 1, MHBLifecycle: 1, MHBIGService: 10,
+		IGLooper: 28, IGLocked: 1, IAAlloc: 12,
+		RHBResume: 2, CHBFinish: 2, PHBPost: 2,
+		MAGetter: 6, URReturn: 5, URParam: 2, TTThread: 2,
+		Padding: 30,
+	},
+	{
+		Name: "ConnectBot", Group: "train",
+		TrueService: 12, TruePosted: 1,
+		MHBService: 2, MHBIGService: 1, IGLooper: 4, IAAlloc: 2, URReturn: 1,
+		Padding: 10,
+	},
+	{
+		Name: "FireFox", Group: "train",
+		TrueService: 5, TrueThread: 1,
+		MHBService: 2, MHBTask: 1, MHBIGService: 8, IGLooper: 24, IGLocked: 1, IAAlloc: 10,
+		PHBPost: 2, MAGetter: 5, URReturn: 4, URParam: 2, TTThread: 3,
+		FPPathInsens: 6, FPPointsTo: 2, FPNotReach: 2, FPMissingHB: 2,
+		Padding: 40,
+	},
+
+	// --- test group (§8.2, DroidRacer apps + F-Droid picks) -------------
+	{
+		Name: "SoundRecorder", Group: "test",
+		MHBService: 1, IGLooper: 1,
+		Padding: 1,
+	},
+	{
+		Name: "Swiftnotes", Group: "test",
+		Padding: 3,
+	},
+	{
+		Name: "PhotoAffix", Group: "test",
+		IGLooper: 4, MHBLifecycle: 1, IAAlloc: 1, URReturn: 2, MAGetter: 1,
+		FPPathInsens: 2, FPMissingHB: 2,
+		Padding: 2,
+	},
+	{
+		Name: "MLManager", Group: "test",
+		MHBService: 1, MHBTask: 1, MHBIGService: 2, IGLooper: 8, IAAlloc: 3,
+		URReturn: 3, MAGetter: 2, TTThread: 1,
+		Padding: 2,
+	},
+	{
+		Name: "InstaMaterial", Group: "test",
+		MHBTask: 3, MHBIGService: 5, IGLooper: 20, IAAlloc: 10,
+		PHBPost: 2, MAGetter: 6, URReturn: 6,
+		Padding: 4,
+	},
+	{
+		Name: "Tomdroid", Group: "test",
+		Padding: 4,
+	},
+	{
+		Name: "SGTPuzzles", Group: "test",
+		MHBLifecycle: 2, MHBIGService: 2, IGLooper: 8, IAAlloc: 4,
+		Padding: 4,
+	},
+	{
+		Name: "Aard", Group: "test",
+		TrueService: 8,
+		MHBService:  1, MHBIGService: 1, IGLooper: 5, IAAlloc: 1, URReturn: 3, MAGetter: 2,
+		FPPathInsens: 3, FPPointsTo: 2, FPNotReach: 1, FPMissingHB: 1,
+		Padding: 4,
+	},
+	{
+		Name: "ClipStack", Group: "test",
+		IGLooper: 1,
+		Padding:  4,
+	},
+	{
+		Name: "KissLauncher", Group: "test",
+		MHBLifecycle: 1, MHBIGService: 1, IGLooper: 6, IAAlloc: 2, URReturn: 2,
+		FPPathInsens: 4,
+		Padding:      5,
+	},
+	{
+		Name: "DashClock", Group: "test",
+		IGLooper: 3, IAAlloc: 1, URReturn: 1,
+		Padding: 6,
+	},
+	{
+		Name: "Dns66", Group: "test",
+		MHBService: 1, IGLooper: 3, IAAlloc: 1, URReturn: 1,
+		FPPathInsens: 2, FPMissingHB: 1,
+		Padding: 6,
+	},
+	{
+		Name: "CleanMaster", Group: "test",
+		IGLooper: 1,
+		Padding:  8,
+	},
+	{
+		Name: "OmniNotes", Group: "test",
+		MHBService: 2, MHBTask: 2, MHBLifecycle: 1, MHBIGService: 8,
+		IGLooper: 25, IAAlloc: 12,
+		PHBPost: 2, MAGetter: 7, URReturn: 7, TTThread: 2,
+		Padding: 12,
+	},
+	{
+		Name: "Solitaire", Group: "test",
+		IGLooper: 2, URReturn: 1, MAGetter: 1,
+		FPPointsTo: 1,
+		Padding:    10,
+	},
+	{
+		Name: "Mms", Group: "test",
+		MHBService: 3, MHBTask: 2, MHBLifecycle: 1, MHBIGService: 10,
+		IGLooper: 30, IGLocked: 1, IAAlloc: 15,
+		RHBResume: 1, CHBFinish: 2, CHBUnbind: 1,
+		MAGetter: 10, URReturn: 9, URParam: 2, TTThread: 4,
+		FPPathInsens: 5, FPPointsTo: 4, FPMissingHB: 1,
+		Padding: 25,
+	},
+	{
+		Name: "MyTracks_2", Group: "test",
+		TruePosted: 20,
+		MHBService: 1, MHBLifecycle: 1, MHBIGService: 3, IGLooper: 8, IAAlloc: 3,
+		MAGetter: 4, URReturn: 4,
+		FPPathInsens: 1, FPPointsTo: 1,
+		Padding: 8,
+	},
+	{
+		Name: "MiMangaNu", Group: "test",
+		IGLooper: 1, URReturn: 1,
+		Padding: 25,
+	},
+	{
+		Name: "QKSMS", Group: "test",
+		TruePosted: 10,
+		MHBService: 1, MHBTask: 1, MHBIGService: 2, IGLooper: 8, IAAlloc: 2,
+		URReturn: 3, MAGetter: 3,
+		FPPathInsens: 2, FPPointsTo: 1,
+		Padding: 10,
+	},
+	{
+		Name: "K9Mail", Group: "test",
+		MHBService: 3, MHBTask: 2, MHBLifecycle: 2, MHBIGService: 14,
+		IGLooper: 45, IGLocked: 1, IAAlloc: 20,
+		RHBResume: 2, CHBFinish: 2, CHBUnbind: 2, PHBPost: 3,
+		MAGetter: 12, URReturn: 12, URParam: 3, TTThread: 5,
+		FPPathInsens: 4, FPNotReach: 2, FPMissingHB: 2,
+		Padding: 40,
+	},
+}

@@ -1,0 +1,427 @@
+// Package datalog implements a small in-memory Datalog engine with
+// semi-naive bottom-up evaluation. It is the stand-in for the
+// Datalog/bddbddb layer the paper's Chord build runs on: the escape and
+// race analyses are written as Datalog rules over relations extracted
+// from the IR.
+//
+// Syntax accepted by ParseRule:
+//
+//	PointsTo(v, h) :- Alloc(v, h)
+//	Reach(t, h2) :- Reach(t, h1), HeapPT(h1, f, h2)
+//	Race(a, b) :- Acc(a, t1), Acc(b, t2), t1 != t2
+//
+// Identifiers starting with an upper-case letter are predicates; terms
+// starting with a lower-case letter are variables; single-quoted terms
+// ('sym') and integers are constants. `x != y` body literals are the only
+// builtin.
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Sym is an interned constant.
+type Sym int
+
+// Engine holds the symbol table, relations and rules of one program.
+type Engine struct {
+	symNames []string
+	symIdx   map[string]Sym
+	rels     map[string]*Relation
+	rules    []*Rule
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{symIdx: make(map[string]Sym), rels: make(map[string]*Relation)}
+}
+
+// Sym interns a string constant.
+func (e *Engine) Sym(s string) Sym {
+	if i, ok := e.symIdx[s]; ok {
+		return i
+	}
+	i := Sym(len(e.symNames))
+	e.symNames = append(e.symNames, s)
+	e.symIdx[s] = i
+	return i
+}
+
+// SymName returns the string for an interned symbol.
+func (e *Engine) SymName(s Sym) string {
+	if int(s) < 0 || int(s) >= len(e.symNames) {
+		return fmt.Sprintf("?sym(%d)", int(s))
+	}
+	return e.symNames[s]
+}
+
+// Relation declares (or returns) a relation with the given arity.
+func (e *Engine) Relation(name string, arity int) *Relation {
+	if r, ok := e.rels[name]; ok {
+		if r.arity != arity {
+			panic(fmt.Sprintf("datalog: relation %s redeclared with arity %d (was %d)", name, arity, r.arity))
+		}
+		return r
+	}
+	r := &Relation{name: name, arity: arity, tuples: make(map[string][]Sym)}
+	e.rels[name] = r
+	return r
+}
+
+// Fact asserts a tuple into a relation, declaring it on first use.
+func (e *Engine) Fact(rel string, terms ...Sym) {
+	r := e.Relation(rel, len(terms))
+	r.insert(terms)
+}
+
+// FactStrings asserts a tuple of string constants.
+func (e *Engine) FactStrings(rel string, terms ...string) {
+	syms := make([]Sym, len(terms))
+	for i, t := range terms {
+		syms[i] = e.Sym(t)
+	}
+	e.Fact(rel, syms...)
+}
+
+// MustRule parses and installs a rule, panicking on syntax errors (rules
+// are compiled into the analyses, so a bad rule is a programming error).
+func (e *Engine) MustRule(src string) {
+	r, err := ParseRule(src)
+	if err != nil {
+		panic(err)
+	}
+	e.AddRule(r)
+}
+
+// AddRule installs a parsed rule, declaring any relations it mentions.
+func (e *Engine) AddRule(r *Rule) {
+	e.Relation(r.Head.Pred, len(r.Head.Terms))
+	for _, l := range r.Body {
+		if l.Builtin == BuiltinNone {
+			e.Relation(l.Pred, len(l.Terms))
+		}
+	}
+	e.rules = append(e.rules, r)
+}
+
+// Count returns the number of tuples in a relation (0 if undeclared).
+func (e *Engine) Count(rel string) int {
+	if r, ok := e.rels[rel]; ok {
+		return len(r.tuples)
+	}
+	return 0
+}
+
+// Has reports whether the exact tuple is present.
+func (e *Engine) Has(rel string, terms ...Sym) bool {
+	r, ok := e.rels[rel]
+	if !ok {
+		return false
+	}
+	_, present := r.tuples[key(terms)]
+	return present
+}
+
+// Query returns all tuples of rel matching the pattern, where a negative
+// term is a wildcard. Results are sorted for determinism.
+func (e *Engine) Query(rel string, pattern ...Sym) [][]Sym {
+	r, ok := e.rels[rel]
+	if !ok {
+		return nil
+	}
+	var out [][]Sym
+	for _, t := range r.tuples {
+		match := true
+		for i, p := range pattern {
+			if p >= 0 && t[i] != p {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return lessTuple(out[i], out[j]) })
+	return out
+}
+
+// Wild is the wildcard pattern term for Query.
+const Wild = Sym(-1)
+
+// Run evaluates all rules to fixpoint using semi-naive iteration.
+func (e *Engine) Run() {
+	// delta starts as everything currently in each relation.
+	delta := make(map[string]map[string][]Sym)
+	for name, r := range e.rels {
+		d := make(map[string][]Sym, len(r.tuples))
+		for k, t := range r.tuples {
+			d[k] = t
+		}
+		delta[name] = d
+	}
+	for {
+		next := make(map[string]map[string][]Sym)
+		for _, rule := range e.rules {
+			e.evalRule(rule, delta, next)
+		}
+		if totalSize(next) == 0 {
+			return
+		}
+		delta = next
+	}
+}
+
+func totalSize(m map[string]map[string][]Sym) int {
+	n := 0
+	for _, d := range m {
+		n += len(d)
+	}
+	return n
+}
+
+// evalRule evaluates one rule semi-naively: for each positive body
+// literal position p, join delta(p) against full relations elsewhere.
+func (e *Engine) evalRule(rule *Rule, delta, next map[string]map[string][]Sym) {
+	positive := rule.positiveIdx
+	if len(positive) == 0 {
+		return
+	}
+	for _, dpos := range positive {
+		lit := rule.Body[dpos]
+		d := delta[lit.Pred]
+		if len(d) == 0 {
+			continue
+		}
+		for _, t := range d {
+			bind := make(map[string]Sym, 4)
+			if !unify(lit, t, bind) {
+				continue
+			}
+			e.joinRest(rule, 0, dpos, bind, next)
+		}
+	}
+}
+
+// joinRest recursively extends bindings over body literals other than
+// the delta literal at index skip, then emits the head tuple.
+func (e *Engine) joinRest(rule *Rule, i, skip int, bind map[string]Sym, next map[string]map[string][]Sym) {
+	if i == len(rule.Body) {
+		e.emit(rule, bind, next)
+		return
+	}
+	if i == skip {
+		e.joinRest(rule, i+1, skip, bind, next)
+		return
+	}
+	lit := rule.Body[i]
+	switch lit.Builtin {
+	case BuiltinNeq:
+		a, aok := resolveTerm(lit.Terms[0], bind)
+		b, bok := resolveTerm(lit.Terms[1], bind)
+		if !aok || !bok {
+			panic(fmt.Sprintf("datalog: unbound variable in builtin of rule %s", rule.src))
+		}
+		if a != b {
+			e.joinRest(rule, i+1, skip, bind, next)
+		}
+		return
+	case BuiltinEq:
+		a, aok := resolveTerm(lit.Terms[0], bind)
+		b, bok := resolveTerm(lit.Terms[1], bind)
+		switch {
+		case aok && bok:
+			if a == b {
+				e.joinRest(rule, i+1, skip, bind, next)
+			}
+		case aok:
+			bind[lit.Terms[1].Var] = a
+			e.joinRest(rule, i+1, skip, bind, next)
+			delete(bind, lit.Terms[1].Var)
+		case bok:
+			bind[lit.Terms[0].Var] = b
+			e.joinRest(rule, i+1, skip, bind, next)
+			delete(bind, lit.Terms[0].Var)
+		default:
+			panic(fmt.Sprintf("datalog: both sides unbound in = of rule %s", rule.src))
+		}
+		return
+	}
+	r, ok := e.rels[lit.Pred]
+	if !ok {
+		return
+	}
+	// Pick the first bound position and use the column index; fall back
+	// to a full scan only when no position is bound.
+	var candidates [][]Sym
+	indexed := false
+	for j, term := range lit.Terms {
+		if !term.IsVar {
+			candidates = r.lookup(j, term.Const)
+			indexed = true
+			break
+		}
+		if term.Var != "_" {
+			if v, bound := bind[term.Var]; bound {
+				candidates = r.lookup(j, v)
+				indexed = true
+				break
+			}
+		}
+	}
+	if !indexed {
+		candidates = make([][]Sym, 0, len(r.tuples))
+		for _, t := range r.tuples {
+			candidates = append(candidates, t)
+		}
+	}
+	for _, t := range candidates {
+		var undo []string
+		ok := true
+		for j, term := range lit.Terms {
+			if term.IsVar {
+				if v, bound := bind[term.Var]; bound {
+					if v != t[j] {
+						ok = false
+						break
+					}
+				} else if term.Var != "_" {
+					bind[term.Var] = t[j]
+					undo = append(undo, term.Var)
+				}
+			} else if term.Const != t[j] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			e.joinRest(rule, i+1, skip, bind, next)
+		}
+		for _, v := range undo {
+			delete(bind, v)
+		}
+	}
+}
+
+func (e *Engine) emit(rule *Rule, bind map[string]Sym, next map[string]map[string][]Sym) {
+	tuple := make([]Sym, len(rule.Head.Terms))
+	for i, term := range rule.Head.Terms {
+		v, ok := resolveTerm(term, bind)
+		if !ok {
+			panic(fmt.Sprintf("datalog: unbound head variable %q in rule %s", term.Var, rule.src))
+		}
+		tuple[i] = v
+	}
+	r := e.rels[rule.Head.Pred]
+	k := key(tuple)
+	if _, exists := r.tuples[k]; exists {
+		return
+	}
+	r.tuples[k] = tuple
+	for col, idx := range r.index {
+		idx[tuple[col]] = append(idx[tuple[col]], tuple)
+	}
+	d, ok := next[rule.Head.Pred]
+	if !ok {
+		d = make(map[string][]Sym)
+		next[rule.Head.Pred] = d
+	}
+	d[k] = tuple
+}
+
+func resolveTerm(t Term, bind map[string]Sym) (Sym, bool) {
+	if !t.IsVar {
+		return t.Const, true
+	}
+	v, ok := bind[t.Var]
+	return v, ok
+}
+
+// unify matches a literal against a concrete tuple, extending bind.
+func unify(lit Literal, tuple []Sym, bind map[string]Sym) bool {
+	for i, term := range lit.Terms {
+		if term.IsVar {
+			if term.Var == "_" {
+				continue
+			}
+			if v, ok := bind[term.Var]; ok {
+				if v != tuple[i] {
+					return false
+				}
+			} else {
+				bind[term.Var] = tuple[i]
+			}
+		} else if term.Const != tuple[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Relation is a set of same-arity tuples with lazily-built per-column
+// indexes to support the engine's joins.
+type Relation struct {
+	name   string
+	arity  int
+	tuples map[string][]Sym
+	// index[col][sym] lists tuples whose col-th term is sym; built on
+	// first use and maintained by insert.
+	index map[int]map[Sym][][]Sym
+}
+
+// Arity returns the relation's arity.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the tuple count.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+func (r *Relation) insert(t []Sym) {
+	if len(t) != r.arity {
+		panic(fmt.Sprintf("datalog: %s expects arity %d, got %d", r.name, r.arity, len(t)))
+	}
+	cp := append([]Sym(nil), t...)
+	k := key(cp)
+	if _, dup := r.tuples[k]; dup {
+		return
+	}
+	r.tuples[k] = cp
+	for col, idx := range r.index {
+		idx[cp[col]] = append(idx[cp[col]], cp)
+	}
+}
+
+// lookup returns the tuples whose col-th term equals sym, building the
+// column index on first use.
+func (r *Relation) lookup(col int, sym Sym) [][]Sym {
+	idx, ok := r.index[col]
+	if !ok {
+		if r.index == nil {
+			r.index = make(map[int]map[Sym][][]Sym)
+		}
+		idx = make(map[Sym][][]Sym, len(r.tuples))
+		for _, t := range r.tuples {
+			idx[t[col]] = append(idx[t[col]], t)
+		}
+		r.index[col] = idx
+	}
+	return idx[sym]
+}
+
+func key(t []Sym) string {
+	var b strings.Builder
+	for _, s := range t {
+		fmt.Fprintf(&b, "%d,", int(s))
+	}
+	return b.String()
+}
+
+func lessTuple(a, b []Sym) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

@@ -1,0 +1,163 @@
+package deva
+
+import (
+	"strings"
+	"testing"
+
+	"nadroid/internal/appbuilder"
+	"nadroid/internal/corpus"
+	"nadroid/internal/framework"
+)
+
+func TestDetectsIntraClassLifecycleAnomaly(t *testing.T) {
+	b := appbuilder.New("deva1")
+	act := b.Activity("d/A")
+	act.Field("db", "d/V")
+	b.Class("d/V", framework.Object)
+	oar := act.Method("onActivityResult", 1)
+	oar.GetThis("db")
+	oar.Return()
+	od := act.Method("onDestroy", 0)
+	od.FreeThis("db")
+	od.Return()
+	pkg, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Analyze(pkg)
+	if len(got) != 1 {
+		t.Fatalf("anomalies = %d, want 1", len(got))
+	}
+	a := got[0]
+	if !strings.Contains(a.UseCallback, "onActivityResult") || !strings.Contains(a.FreeCallback, "onDestroy") {
+		t.Errorf("anomaly = %+v", a)
+	}
+}
+
+// DEvA's intra-class restriction: a use in a separate top-level listener
+// class is invisible even though nAdroid sees it.
+func TestMissesInterClassRace(t *testing.T) {
+	b := appbuilder.New("deva2")
+	act := b.Activity("d/A")
+	act.Field("f", "d/V")
+	b.Class("d/V", framework.Object)
+	op := act.Method("onPause", 0)
+	op.FreeThis("f")
+	op.Return()
+	l := b.Class("d/L", framework.Object, framework.OnClickListener) // top-level
+	l.Field("outer", "d/A")
+	mb := l.Method("onClick", 1)
+	o := mb.GetThis("outer")
+	mb.GetField(o, "d/A", "f")
+	mb.Return()
+	pkg, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Analyze(pkg); len(got) != 0 {
+		t.Errorf("inter-class race should be invisible to DEvA: %v", got)
+	}
+}
+
+// With the listener marked as an inner class, DEvA sees it.
+func TestInnerClassExtendsScope(t *testing.T) {
+	b := appbuilder.New("deva3")
+	act := b.Activity("d/A")
+	act.Field("f", "d/V")
+	b.Class("d/V", framework.Object)
+	op := act.Method("onPause", 0)
+	op.FreeThis("f")
+	op.Return()
+	l := b.Class("d/L", framework.Object, framework.OnClickListener)
+	l.Outer("d/A")
+	l.Field("outer", "d/A")
+	mb := l.Method("onClick", 1)
+	o := mb.GetThis("outer")
+	mb.GetField(o, "d/A", "f")
+	mb.Return()
+	pkg, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Analyze(pkg)
+	found := false
+	for _, a := range got {
+		if strings.Contains(a.UseCallback, "onClick") && strings.Contains(a.FreeCallback, "onPause") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("inner-class listener should be in scope: %v", got)
+	}
+}
+
+// DEvA's unsound IG: ANY earlier null check suppresses the use, with no
+// atomicity reasoning — the §2.3 false-negative source.
+func TestUnsoundIfGuardSuppresses(t *testing.T) {
+	b := appbuilder.New("deva4")
+	act := b.Activity("d/A")
+	act.Field("f", "d/V")
+	b.Class("d/V", framework.Object).Method("use", 0).Return()
+	cb := act.Method("onBackPressed", 0)
+	chk := cb.GetThis("f")
+	cb.IfNull(chk, "skip")
+	f := cb.GetThis("f")
+	cb.Use(f, "d/V")
+	cb.Label("skip")
+	cb.Return()
+	op := act.Method("onPause", 0)
+	op.FreeThis("f")
+	op.Return()
+	pkg, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The guarded use is suppressed; the guard load itself has no check
+	// before it and remains — DEvA reports it.
+	got := Analyze(pkg)
+	for _, a := range got {
+		if a.Use.Index == 2 { // the guarded re-load
+			t.Errorf("guarded use must be unsoundly suppressed: %v", a)
+		}
+	}
+}
+
+// DEvA misses thread bodies entirely.
+func TestNoThreadModel(t *testing.T) {
+	b := appbuilder.New("deva5")
+	act := b.Activity("d/A")
+	act.Field("f", "d/V")
+	b.Class("d/V", framework.Object)
+	op := act.Method("onPause", 0)
+	op.FreeThis("f")
+	op.Return()
+	th := b.ThreadClass("d/T")
+	th.Outer("d/A") // even inside the class scope
+	th.Field("outer", "d/A")
+	run := th.Method("run", 0)
+	o := run.GetThis("outer")
+	run.GetField(o, "d/A", "f")
+	run.Return()
+	pkg, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Analyze(pkg); len(got) != 0 {
+		t.Errorf("run() is not an event callback for DEvA: %v", got)
+	}
+}
+
+// On ConnectBot, DEvA finds none of the 13 seeded bugs (they all cross
+// class boundaries through ServiceConnection/Runnable classes).
+func TestConnectBotFalseNegatives(t *testing.T) {
+	app, ok := corpus.ByName("ConnectBot")
+	if !ok {
+		t.Fatal("missing corpus app")
+	}
+	got := Analyze(app.Build())
+	for _, a := range got {
+		if strings.HasPrefix(a.Field.Name, "f_svc") || strings.HasPrefix(a.Field.Name, "f_post") {
+			t.Errorf("DEvA should miss the seeded ConnectBot bugs, found %v", a)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Package dynrace is a CAFA/DroidRacer-style trace-based dynamic race
+// detector — the class of tools §2.3 compares nAdroid against. It
+// consumes the execution traces interp records (per-task field accesses
+// plus the happens-before edges between tasks: posting, spawning,
+// registration, lifecycle and service-connection order) and reports
+// use/free pairs in HB-unordered tasks.
+//
+// Its defining property is the paper's point: detection is *sound for
+// the observed trace* but covers only what the schedule exercised. On
+// ConnectBot's default schedule it finds almost none of the 13 bugs the
+// static pipeline reports (CAFA reported zero, Table 1 of [17]);
+// unioning traces over many explored schedules closes the gap only
+// gradually.
+package dynrace
+
+import (
+	"fmt"
+	"sort"
+
+	"nadroid/internal/interp"
+	"nadroid/internal/ir"
+)
+
+// Race is one dynamic use/free race: two accesses to the same field of
+// the same runtime object from HB-unordered tasks.
+type Race struct {
+	Field ir.FieldRef
+	Use   ir.InstrID
+	Free  ir.InstrID
+	// UseTask / FreeTask name the tasks involved.
+	UseTask, FreeTask string
+}
+
+// Key identifies a race by its static locations (for cross-trace
+// unioning and comparison against static warnings).
+func (r Race) Key() string {
+	return fmt.Sprintf("%s|%s|%s", r.Field, r.Use, r.Free)
+}
+
+// Options tunes detection.
+type Options struct {
+	// UseFreeOnly keeps only read vs null-write pairs (the UAF shape);
+	// otherwise every read-write/write-write conflict is reported.
+	UseFreeOnly bool
+}
+
+// Analyze runs offline HB race detection over one recorded trace.
+func Analyze(log *interp.TraceLog, opts Options) []Race {
+	n := len(log.TaskNames)
+	hb := closure(n, log.HB)
+	ordered := func(a, b int) bool { return hb[a][b] || hb[b][a] }
+
+	type key struct {
+		field ir.FieldRef
+		obj   int
+	}
+	byLoc := make(map[key][]interp.AccessEvent)
+	for _, a := range log.Accesses {
+		byLoc[key{a.Field, a.Obj}] = append(byLoc[key{a.Field, a.Obj}], a)
+	}
+
+	seen := make(map[string]bool)
+	var out []Race
+	for _, accs := range byLoc {
+		for i, a := range accs {
+			for _, b := range accs[i+1:] {
+				if a.Task == b.Task || a.Task < 0 || b.Task < 0 {
+					continue
+				}
+				if ordered(a.Task, b.Task) {
+					continue
+				}
+				use, free := a, b
+				if opts.UseFreeOnly {
+					switch {
+					case !a.IsWrite && b.IsWrite && b.IsNull:
+						use, free = a, b
+					case !b.IsWrite && a.IsWrite && a.IsNull:
+						use, free = b, a
+					default:
+						continue
+					}
+				} else {
+					if !a.IsWrite && !b.IsWrite {
+						continue
+					}
+					if b.IsWrite && !a.IsWrite {
+						use, free = a, b
+					} else if a.IsWrite && !b.IsWrite {
+						use, free = b, a
+					}
+				}
+				r := Race{
+					Field:    use.Field,
+					Use:      use.Instr,
+					Free:     free.Instr,
+					UseTask:  log.TaskNames[use.Task],
+					FreeTask: log.TaskNames[free.Task],
+				}
+				if !seen[r.Key()] {
+					seen[r.Key()] = true
+					out = append(out, r)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// closure computes per-task reachability over the HB DAG.
+func closure(n int, edges [][2]int) [][]bool {
+	adj := make([][]int, n)
+	for _, e := range edges {
+		if e[0] >= 0 && e[0] < n && e[1] >= 0 && e[1] < n {
+			adj[e[0]] = append(adj[e[0]], e[1])
+		}
+	}
+	reach := make([][]bool, n)
+	for i := range reach {
+		reach[i] = make([]bool, n)
+		stack := append([]int(nil), adj[i]...)
+		for len(stack) > 0 {
+			t := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if reach[i][t] {
+				continue
+			}
+			reach[i][t] = true
+			stack = append(stack, adj[t]...)
+		}
+	}
+	return reach
+}
+
+// Union merges races found across multiple traces (the dynamic tool's
+// coverage grows with every explored schedule).
+func Union(sets ...[]Race) []Race {
+	seen := make(map[string]bool)
+	var out []Race
+	for _, set := range sets {
+		for _, r := range set {
+			if !seen[r.Key()] {
+				seen[r.Key()] = true
+				out = append(out, r)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}

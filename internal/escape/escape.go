@@ -1,0 +1,139 @@
+// Package escape implements thread-escape analysis over the threadified
+// model: an abstract object escapes when two distinct modeled threads can
+// reach it (through local variables, field chains, or static fields).
+// Chord's race detector uses the same notion to discard thread-local
+// accesses (§5).
+//
+// The analysis is expressed in Datalog, as in the paper's Chord build:
+//
+//	Reach(t, h)  :- Root(t, h)
+//	Reach(t, h2) :- Reach(t, h1), HeapPT(h1, f, h2)
+//	Reach(t, h)  :- Touches(t), StaticPT(h)   (statics are global)
+//	Escapes(h)   :- Reach(t1, h), Reach(t2, h), t1 != t2
+package escape
+
+import (
+	"fmt"
+
+	"nadroid/internal/datalog"
+	"nadroid/internal/pointsto"
+	"nadroid/internal/threadify"
+)
+
+// Result maps object IDs to their escape status.
+type Result struct {
+	escaped map[pointsto.ObjID]bool
+	// reachers counts how many threads reach each object (diagnostics).
+	reachers map[pointsto.ObjID]int
+}
+
+// Escaped reports whether obj is reachable from two or more threads.
+func (r *Result) Escaped(obj pointsto.ObjID) bool { return r.escaped[obj] }
+
+// ReacherCount returns how many threads reach obj.
+func (r *Result) ReacherCount(obj pointsto.ObjID) int { return r.reachers[obj] }
+
+// Analyze computes escape facts for every abstract object in the model.
+func Analyze(m *threadify.Model) *Result {
+	e := datalog.NewEngine()
+	objSym := func(o pointsto.ObjID) datalog.Sym { return e.Sym(fmt.Sprintf("h%d", int(o))) }
+	thrSym := func(t int) datalog.Sym { return e.Sym(fmt.Sprintf("t%d", t)) }
+
+	// Roots: for each thread, every object any reachable variable points
+	// to (including the entry receiver, bound to `this` during the
+	// solve). We enumerate var points-to sets via the per-context
+	// reachable methods.
+	pts := m.PTS
+	for _, th := range m.Threads {
+		if th.Kind == threadify.KindDummyMain {
+			continue
+		}
+		for mc := range m.Reach(th.ID) {
+			mth, err := m.H.MethodByRef(mc.Method)
+			if err != nil || mth.Abstract {
+				continue
+			}
+			for reg := 0; reg < mth.NumRegs; reg++ {
+				for _, o := range pts.PointsTo(mc.Method, mc.Recv, reg) {
+					e.Fact("Root", thrSym(th.ID), objSym(o))
+				}
+			}
+		}
+		e.Fact("Touches", thrSym(th.ID))
+	}
+
+	// Heap edges.
+	for id := range pts.Objects() {
+		o := pointsto.ObjID(id)
+		for _, f := range fieldsOf(pts, o) {
+			for _, o2 := range pts.FieldPointsTo(o, f) {
+				e.Fact("HeapPT", objSym(o), e.Sym("f:"+f), objSym(o2))
+			}
+		}
+	}
+
+	// Static fields are globally reachable.
+	for _, f := range staticFieldsOf(pts) {
+		for _, o := range pts.StaticPointsTo(f) {
+			e.Fact("StaticPT", objSym(o))
+		}
+	}
+
+	e.MustRule("Reach(t, h) :- Root(t, h)")
+	e.MustRule("Reach(t, h2) :- Reach(t, h1), HeapPT(h1, f, h2)")
+	e.MustRule("Reach(t, h) :- Touches(t), StaticPT(h)")
+	e.MustRule("StaticPT(h2) :- StaticPT(h1), HeapPT(h1, f, h2)")
+	e.MustRule("Escapes(h) :- Reach(t1, h), Reach(t2, h), t1 != t2")
+	e.Run()
+
+	res := &Result{
+		escaped:  make(map[pointsto.ObjID]bool),
+		reachers: make(map[pointsto.ObjID]int),
+	}
+	for id := range pts.Objects() {
+		o := pointsto.ObjID(id)
+		sym := objSym(o)
+		if e.Has("Escapes", sym) {
+			res.escaped[o] = true
+		}
+		res.reachers[o] = len(e.Query("Reach", datalog.Wild, sym))
+	}
+	return res
+}
+
+// fieldsOf enumerates field names with recorded pointees on o. The
+// points-to result has no direct field-name index, so we consult the
+// class's declared fields up the hierarchy.
+func fieldsOf(pts *pointsto.Result, o pointsto.ObjID) []string {
+	// FieldPointsTo on arbitrary names returns empty sets, so probing
+	// declared fields is sufficient and cheap.
+	var names []string
+	obj := pts.Obj(o)
+	h := pts.Hierarchy()
+	for cur := obj.Class; cur != ""; {
+		c := h.Program().Class(cur)
+		if c == nil {
+			break
+		}
+		for _, f := range c.Fields {
+			if !f.Static {
+				names = append(names, f.Name)
+			}
+		}
+		cur = c.Super
+	}
+	return names
+}
+
+// staticFieldsOf enumerates static field refs declared in the program.
+func staticFieldsOf(pts *pointsto.Result) []string {
+	var out []string
+	for _, c := range pts.Hierarchy().Program().Classes() {
+		for _, f := range c.Fields {
+			if f.Static {
+				out = append(out, f.Ref())
+			}
+		}
+	}
+	return out
+}

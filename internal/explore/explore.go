@@ -1,0 +1,286 @@
+// Package explore systematically enumerates event orders and thread
+// interleavings of an application under the interp runtime, searching
+// for schedules that trigger a NullPointerException. It mechanizes the
+// manual validation step of §7: a statically-reported UAF warning is
+// confirmed harmful when some schedule dereferences the null loaded at
+// the warning's use site.
+//
+// Exploration is stateless (re-execution from scratch per schedule) with
+// a standard DFS over scheduler choice points, bounded by a schedule
+// budget.
+package explore
+
+import (
+	"fmt"
+
+	"nadroid/internal/apk"
+	"nadroid/internal/interp"
+	"nadroid/internal/threadify"
+	"nadroid/internal/uaf"
+)
+
+// Options bounds the search.
+type Options struct {
+	// MaxSchedules caps how many executions are attempted (default 4000).
+	MaxSchedules int
+	// Interp configures each execution.
+	Interp interp.Options
+	// BothBranchPolicies additionally explores with opaque branches
+	// taken (doubling the budget's use).
+	BothBranchPolicies bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSchedules <= 0 {
+		o.MaxSchedules = 4000
+	}
+	o.Interp.StopOnNPE = true
+	return o
+}
+
+// Witness is a schedule that triggered a matching NPE.
+type Witness struct {
+	Schedule []int
+	NPE      interp.NPE
+	// OpaqueBranchesTaken records which branch policy produced it.
+	OpaqueBranchesTaken bool
+	// Executions is how many schedules were run before the hit.
+	Executions int
+}
+
+func (w *Witness) String() string {
+	return fmt.Sprintf("%v after %d executions (schedule %v)", w.NPE, w.Executions, w.Schedule)
+}
+
+// FindNPE searches for any schedule whose execution raises an NPE
+// accepted by match (nil matches every NPE).
+func FindNPE(pkg *apk.Package, opts Options, match func(interp.NPE) bool) (*Witness, bool) {
+	opts = opts.withDefaults()
+	if match == nil {
+		match = func(interp.NPE) bool { return true }
+	}
+	budget := opts.MaxSchedules
+	policies := []bool{false}
+	if opts.BothBranchPolicies {
+		policies = []bool{false, true}
+	}
+	executions := 0
+	for _, takeOpaque := range policies {
+		iopts := opts.Interp
+		iopts.TakeOpaqueBranches = takeOpaque
+		w, ok := dfs(pkg, iopts, budget/len(policies), &executions, match, takeOpaque)
+		if ok {
+			return w, true
+		}
+	}
+	return nil, false
+}
+
+// dfs runs the schedule-tree exploration for one branch policy.
+func dfs(pkg *apk.Package, iopts interp.Options, budget int, executions *int, match func(interp.NPE) bool, takeOpaque bool) (*Witness, bool) {
+	type item struct{ schedule []int }
+	stack := []item{{nil}}
+	seen := map[string]bool{"": true}
+	for len(stack) > 0 && budget > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		budget--
+		*executions++
+
+		w := interp.NewWorld(pkg, iopts)
+		info := interp.Run(w, it.schedule)
+		for _, npe := range w.NPEs() {
+			if match(npe) {
+				return &Witness{
+					Schedule:            append([]int(nil), it.schedule...),
+					NPE:                 npe,
+					OpaqueBranchesTaken: takeOpaque,
+					Executions:          *executions,
+				}, true
+			}
+		}
+		// Expand siblings at every choice point at or beyond the frozen
+		// prefix (earlier points are owned by ancestors in the DFS tree).
+		for i := len(it.schedule); i < len(info.Arity); i++ {
+			for alt := 0; alt < info.Arity[i]; alt++ {
+				if alt == info.Taken[i] {
+					continue
+				}
+				next := make([]int, i+1)
+				copy(next, info.Taken[:i])
+				next[i] = alt
+				key := fmt.Sprint(next)
+				if !seen[key] {
+					seen[key] = true
+					stack = append(stack, item{next})
+				}
+			}
+		}
+	}
+	return nil, false
+}
+
+// ValidateWarning searches for a schedule in which the value loaded at
+// the warning's use site is null when dereferenced — the mechanical
+// definition of "true harmful UAF". When model is non-nil the search is
+// focused: only external events belonging to the warning's callback
+// lineages (plus their components' lifecycle chains) may fire, which is
+// the paper's §7 hint of starting exploration from the root entry
+// callbacks.
+func ValidateWarning(pkg *apk.Package, model *threadify.Model, w *uaf.Warning, opts Options) (*Witness, bool) {
+	if model != nil {
+		opts.Interp.EventFilter = warningEventFilter(model, w)
+		opts.Interp.SpawnFilter = warningSpawnFilter(model, w)
+	}
+	return FindNPE(pkg, opts, func(n interp.NPE) bool {
+		return n.LoadedAt == w.Use
+	})
+}
+
+// warningSpawnFilter allows only the background-thread classes on the
+// warning's lineages to spawn.
+func warningSpawnFilter(model *threadify.Model, w *uaf.Warning) func(class string) bool {
+	classes := make(map[string]bool)
+	addLineage := func(tid int) {
+		for cur := tid; cur >= 0; cur = model.Threads[cur].Parent {
+			t := model.Threads[cur]
+			if t.Kind == threadify.KindNativeThread || t.Kind == threadify.KindTaskBody {
+				cls, _, _ := splitRef(t.Entry.Method)
+				classes[cls] = true
+			}
+		}
+	}
+	for _, p := range w.Pairs {
+		addLineage(p.Use)
+		addLineage(p.Free)
+	}
+	return func(class string) bool { return classes[class] }
+}
+
+// warningEventFilter allows the entry callbacks on the use/free thread
+// lineages, their service-connection partners, and the full lifecycle
+// chain of every involved component.
+func warningEventFilter(model *threadify.Model, w *uaf.Warning) func(method, component, name string) bool {
+	methods := make(map[string]bool)
+	comps := make(map[string]bool)
+	addLineage := func(tid int) {
+		for cur := tid; cur >= 0; cur = model.Threads[cur].Parent {
+			t := model.Threads[cur]
+			if t.Kind != threadify.KindDummyMain {
+				methods[t.Entry.Method] = true
+			}
+			if t.Component != "" {
+				comps[t.Component] = true
+			}
+		}
+	}
+	for _, p := range w.Pairs {
+		addLineage(p.Use)
+		addLineage(p.Free)
+	}
+	// onServiceDisconnected is only enabled after its partner fires.
+	for m := range methods {
+		cls, name, ok := splitRef(m)
+		if ok && name == "onServiceDisconnected" {
+			methods[cls+".onServiceConnected"] = true
+		}
+	}
+	return func(method, component, name string) bool {
+		if methods[method] {
+			return true
+		}
+		if comps[component] && (hasPrefix(name, "lifecycle:") || hasPrefix(name, "service:")) {
+			return true
+		}
+		return false
+	}
+}
+
+func splitRef(ref string) (string, string, bool) {
+	for i := len(ref) - 1; i > 0; i-- {
+		if ref[i] == '.' {
+			return ref[:i], ref[i+1:], true
+		}
+	}
+	return "", ref, false
+}
+
+func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }
+
+// ValidateAll classifies each warning, returning the confirmed-harmful
+// subset (in input order). model focuses each warning's search; pass nil
+// to explore unfocused.
+func ValidateAll(pkg *apk.Package, model *threadify.Model, warnings []*uaf.Warning, opts Options) []*uaf.Warning {
+	var out []*uaf.Warning
+	for _, w := range warnings {
+		if _, ok := ValidateWarning(pkg, model, w, opts); ok {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// FindNoSleep searches for a schedule whose execution runs to quiescence
+// with a wake lock still held — the dynamic witness of a §9 no-sleep
+// energy bug. Schedules that merely hit the step bound do not count.
+func FindNoSleep(pkg *apk.Package, opts Options) (*Witness, bool) {
+	opts = opts.withDefaults()
+	opts.Interp.StopOnNPE = false
+	if opts.Interp.MaxSteps <= 0 {
+		opts.Interp.MaxSteps = 100_000 // keep the quiescence check meaningful
+	}
+	budget := opts.MaxSchedules
+	executions := 0
+	type item struct{ schedule []int }
+	stack := []item{{nil}}
+	seen := map[string]bool{"": true}
+	for len(stack) > 0 && budget > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		budget--
+		executions++
+		w := interp.NewWorld(pkg, opts.Interp)
+		info := interp.Run(w, it.schedule)
+		if w.HeldWakeLocks() > 0 && w.Done() && w.Steps() < opts.Interp.MaxSteps {
+			return &Witness{Schedule: append([]int(nil), it.schedule...), Executions: executions}, true
+		}
+		for i := len(it.schedule); i < len(info.Arity); i++ {
+			for alt := 0; alt < info.Arity[i]; alt++ {
+				if alt == info.Taken[i] {
+					continue
+				}
+				next := make([]int, i+1)
+				copy(next, info.Taken[:i])
+				next[i] = alt
+				key := fmt.Sprint(next)
+				if !seen[key] {
+					seen[key] = true
+					stack = append(stack, item{next})
+				}
+			}
+		}
+	}
+	return nil, false
+}
+
+// Replay re-executes a witness schedule with tracing enabled and returns
+// the event-level narrative (which callbacks fired in which order, where
+// the exception struck) — the §7 aid in executable form. The schedule is
+// only meaningful under the same scheduler option set it was found with,
+// so Replay takes the same focusing inputs as ValidateWarning: pass the
+// model and warning used to find the witness (nil model replays
+// unfocused searches, e.g. FindNPE/FindNoSleep results).
+func Replay(pkg *apk.Package, model *threadify.Model, w *uaf.Warning, wit *Witness, opts Options) []string {
+	opts = opts.withDefaults()
+	iopts := opts.Interp
+	if model != nil && w != nil {
+		iopts.EventFilter = warningEventFilter(model, w)
+		iopts.SpawnFilter = warningSpawnFilter(model, w)
+	}
+	iopts.TakeOpaqueBranches = wit.OpaqueBranchesTaken
+	iopts.Trace = true
+	iopts.StopOnNPE = true
+	world := interp.NewWorld(pkg, iopts)
+	interp.Run(world, wit.Schedule)
+	return world.Trace()
+}

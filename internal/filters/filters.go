@@ -1,0 +1,328 @@
+// Package filters implements nAdroid's false-positive pruning stage
+// (§6): three sound filters derived from Android's must-happens-before
+// relations and atomicity guarantees, and six unsound filters derived
+// from may-happens-before relations and common Android idioms. The
+// unsound filters double as a ranking system: warnings they prune are
+// deprioritized rather than trusted gone.
+package filters
+
+import (
+	"fmt"
+	"sort"
+
+	"nadroid/internal/framework"
+	"nadroid/internal/hb"
+	"nadroid/internal/ir"
+	"nadroid/internal/lockset"
+	"nadroid/internal/pointsto"
+	"nadroid/internal/race"
+	"nadroid/internal/threadify"
+	"nadroid/internal/uaf"
+)
+
+// Filter prunes thread pairs from one warning, returning how many pairs
+// it removed.
+type Filter interface {
+	Name() string
+	Sound() bool
+	Apply(ctx *Context, w *uaf.Warning) int
+}
+
+// Context carries the shared immutable analyses filters consult.
+type Context struct {
+	D     *uaf.Detection
+	Model *threadify.Model
+	MHB   *hb.Graph
+	Locks *lockset.Result
+	// trustLooperAtomicity is the single-looper assumption of §8.1: two
+	// looper callbacks never preempt each other. Apps with user-created
+	// looper threads break it, downgrading IG/IA to lock-only atomicity.
+	trustLooperAtomicity bool
+	// accIdx resolves (thread, instr, kind) to the access record.
+	accIdx map[accKey]race.Access
+	// cancels caches per-thread cancellation operations (CHB).
+	cancels map[int][]cancelOp
+	// methodCache avoids re-fetching methods.
+	methodCache map[string]*ir.Method
+}
+
+// Options tunes the filter context.
+type Options struct {
+	// MultiLooper drops the single-looper atomicity assumption (§8.1):
+	// the IG and IA filters then require a common lock even between
+	// looper callbacks, making them behave like unsound filters demoted
+	// to sound-under-locks.
+	MultiLooper bool
+}
+
+type accKey struct {
+	thread int
+	instr  ir.InstrID
+	kind   race.AccessKind
+}
+
+type cancelOp struct {
+	kind      framework.CancelKind
+	component string
+	objs      []pointsto.ObjID
+}
+
+// NewContext builds the filter context: the MHB graph, lock sets, and
+// access/cancellation indexes.
+func NewContext(d *uaf.Detection) *Context { return NewContextWith(d, Options{}) }
+
+// NewContextWith is NewContext with explicit options.
+func NewContextWith(d *uaf.Detection, opts Options) *Context {
+	ctx := &Context{
+		D:                    d,
+		Model:                d.Model,
+		MHB:                  hb.BuildMHB(d.Model),
+		Locks:                lockset.Analyze(d.Model),
+		trustLooperAtomicity: !opts.MultiLooper,
+		accIdx:               make(map[accKey]race.Access),
+		cancels:              make(map[int][]cancelOp),
+		methodCache:          make(map[string]*ir.Method),
+	}
+	for _, a := range d.Race.Accesses {
+		ctx.accIdx[accKey{a.Thread, a.Instr, a.Kind}] = a
+	}
+	ctx.indexCancels()
+	return ctx
+}
+
+func (ctx *Context) method(ref string) *ir.Method {
+	if m, ok := ctx.methodCache[ref]; ok {
+		return m
+	}
+	m, err := ctx.Model.H.MethodByRef(ref)
+	if err != nil {
+		m = nil
+	}
+	ctx.methodCache[ref] = m
+	return m
+}
+
+// useAccess finds the use-side access of a warning for a thread pair.
+func (ctx *Context) useAccess(w *uaf.Warning, p uaf.ThreadPair) (race.Access, bool) {
+	a, ok := ctx.accIdx[accKey{p.Use, w.Use, race.Read}]
+	return a, ok
+}
+
+// freeAccess finds the free-side access of a warning for a thread pair.
+func (ctx *Context) freeAccess(w *uaf.Warning, p uaf.ThreadPair) (race.Access, bool) {
+	a, ok := ctx.accIdx[accKey{p.Free, w.Free, race.NullWrite}]
+	return a, ok
+}
+
+// atomicPair reports whether the two sides of the pair execute atomically
+// with respect to each other: both on the single main looper (callbacks
+// never preempt callbacks), or both holding a common lock (§6.1.2).
+func (ctx *Context) atomicPair(w *uaf.Warning, p uaf.ThreadPair) bool {
+	tu, tf := ctx.Model.Threads[p.Use], ctx.Model.Threads[p.Free]
+	if ctx.trustLooperAtomicity && tu.Looper && tf.Looper {
+		return true
+	}
+	ua, ok1 := ctx.useAccess(w, p)
+	fa, ok2 := ctx.freeAccess(w, p)
+	if !ok1 || !ok2 {
+		return false
+	}
+	return ctx.Locks.CommonLock(ua.MCtx, ua.Index, fa.MCtx, fa.Index)
+}
+
+// indexCancels scans every thread's reachable code for cancellation API
+// calls (§6.2.1 CHB).
+func (ctx *Context) indexCancels() {
+	m := ctx.Model
+	for _, th := range m.Threads {
+		if th.Kind == threadify.KindDummyMain {
+			continue
+		}
+		var ops []cancelOp
+		for mc := range m.Reach(th.ID) {
+			mth := ctx.method(mc.Method)
+			if mth == nil || mth.Abstract {
+				continue
+			}
+			for _, in := range mth.Instrs {
+				if in.Op != ir.OpInvoke {
+					continue
+				}
+				kind := framework.ClassifyCancel(m.H, in.Callee.Class, in.Callee.Name)
+				if kind == framework.CancelNone {
+					continue
+				}
+				op := cancelOp{kind: kind}
+				switch kind {
+				case framework.CancelFinish:
+					// The finished component: the receiver's class(es).
+					for _, o := range m.PTS.PointsTo(mc.Method, mc.Recv, in.B) {
+						op.component = m.PTS.Obj(o).Class
+					}
+					if op.component == "" {
+						op.component = in.Callee.Class
+					}
+				case framework.CancelUnbindService, framework.CancelUnregisterReceiver:
+					if len(in.Args) > 0 {
+						op.objs = m.PTS.PointsTo(mc.Method, mc.Recv, in.Args[0])
+					}
+				case framework.CancelRemoveCallbacks, framework.CancelTask:
+					op.objs = m.PTS.PointsTo(mc.Method, mc.Recv, in.B)
+				}
+				ops = append(ops, op)
+			}
+		}
+		if len(ops) > 0 {
+			ctx.cancels[th.ID] = ops
+		}
+	}
+}
+
+// Names of the standard filters, in pipeline order.
+const (
+	NameMHB = "MHB"
+	NameIG  = "IG"
+	NameIA  = "IA"
+	NameRHB = "RHB"
+	NameCHB = "CHB"
+	NamePHB = "PHB"
+	NameMA  = "MA"
+	NameUR  = "UR"
+	NameTT  = "TT"
+)
+
+// SoundFilters returns the §6.1 filters in order.
+func SoundFilters() []Filter {
+	return []Filter{mhbFilter{}, igFilter{}, iaFilter{}}
+}
+
+// UnsoundFilters returns the §6.2 filters in order.
+func UnsoundFilters() []Filter {
+	return []Filter{rhbFilter{}, chbFilter{}, phbFilter{}, maFilter{}, urFilter{}, ttFilter{}}
+}
+
+// ByName resolves filter names; unknown names return an error.
+func ByName(names []string) ([]Filter, error) {
+	all := append(SoundFilters(), UnsoundFilters()...)
+	idx := make(map[string]Filter, len(all))
+	for _, f := range all {
+		idx[f.Name()] = f
+	}
+	var out []Filter
+	for _, n := range names {
+		f, ok := idx[n]
+		if !ok {
+			return nil, fmt.Errorf("filters: unknown filter %q", n)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// Stats reports the outcome of a pipeline run.
+type Stats struct {
+	// Potential is the warning count before filtering.
+	Potential int
+	// AfterSound is the count surviving the sound filters.
+	AfterSound int
+	// AfterUnsound is the count surviving sound + unsound filters.
+	AfterUnsound int
+	// Removed maps filter name to warnings it fully killed (sequential
+	// attribution: a warning counts for the filter that removed its last
+	// pair).
+	Removed map[string]int
+}
+
+// Run applies the sound filters then the unsound filters in sequence,
+// mutating the detection's warnings.
+func Run(d *uaf.Detection) *Stats {
+	ctx := NewContext(d)
+	st := &Stats{Potential: d.AliveCount(), Removed: make(map[string]int)}
+	apply := func(fs []Filter) {
+		for _, f := range fs {
+			for _, w := range d.Warnings {
+				if !w.Alive() {
+					continue
+				}
+				f.Apply(ctx, w)
+				if !w.Alive() {
+					st.Removed[f.Name()]++
+				}
+			}
+		}
+	}
+	apply(SoundFilters())
+	st.AfterSound = d.AliveCount()
+	apply(UnsoundFilters())
+	st.AfterUnsound = d.AliveCount()
+	return st
+}
+
+// MeasureIndependent evaluates each filter alone against the unfiltered
+// warning set (Figure 5's methodology: "Each filter is evaluated
+// independently, so there is overlap"). base selects the starting set:
+// when baseSound is true, the sound filters are applied first and the
+// unsound filters are measured against the survivors (Figure 5(b)).
+// It returns warnings-removed per filter name plus the starting count.
+func MeasureIndependent(d *uaf.Detection, fs []Filter, baseSound bool) (map[string]int, int) {
+	ctx := NewContext(d)
+	// Snapshot pair sets so each filter starts fresh.
+	type snap struct {
+		w     *uaf.Warning
+		pairs []uaf.ThreadPair
+	}
+	prepare := func() []snap {
+		var out []snap
+		for _, w := range d.Warnings {
+			out = append(out, snap{w, append([]uaf.ThreadPair(nil), w.Pairs...)}) //nolint:gocritic
+		}
+		return out
+	}
+	restore := func(s []snap) {
+		for _, e := range s {
+			e.w.Pairs = append(e.w.Pairs[:0], e.pairs...)
+			e.w.FilteredBy = nil
+		}
+	}
+
+	original := prepare()
+	if baseSound {
+		for _, f := range SoundFilters() {
+			for _, w := range d.Warnings {
+				if w.Alive() {
+					f.Apply(ctx, w)
+				}
+			}
+		}
+	}
+	baseline := prepare()
+	start := d.AliveCount()
+
+	removed := make(map[string]int)
+	names := make([]string, 0, len(fs))
+	for _, f := range fs {
+		names = append(names, f.Name())
+	}
+	sort.Strings(names)
+	for _, f := range fs {
+		restore(baseline)
+		before := d.AliveCount()
+		for _, w := range d.Warnings {
+			if w.Alive() {
+				f.Apply(ctx, w)
+			}
+		}
+		removed[f.Name()] = before - d.AliveCount()
+	}
+	restore(original)
+	return removed, start
+}
+
+// entryName returns the bare method name of a thread's entry callback.
+func entryName(t *threadify.Thread) string {
+	if t.Kind == threadify.KindDummyMain {
+		return ""
+	}
+	_, name, _ := ir.SplitRef(t.Entry.Method)
+	return name
+}

@@ -1,0 +1,386 @@
+// Package framework models the slice of the Android framework that
+// nAdroid's analyses depend on: the class/interface catalog, the
+// lifecycle and listener callback lists (the role FlowDroid's
+// listener-callback list plays in the paper), the event-posting APIs that
+// create posted callbacks, and the cancellation APIs behind the CHB
+// filter.
+package framework
+
+// Well-known framework class and interface names. Apps subclass or
+// implement these; the analyses recognize members by walking the class
+// hierarchy up to one of these roots.
+const (
+	Object              = "java/lang/Object"
+	Thread              = "java/lang/Thread"
+	Runnable            = "java/lang/Runnable"
+	Exception           = "java/lang/Exception"
+	NullPointerExc      = "java/lang/NullPointerException"
+	Context             = "android/content/Context"
+	Activity            = "android/app/Activity"
+	Service             = "android/app/Service"
+	BroadcastReceiver   = "android/content/BroadcastReceiver"
+	Handler             = "android/os/Handler"
+	Message             = "android/os/Message"
+	AsyncTask           = "android/os/AsyncTask"
+	View                = "android/view/View"
+	Intent              = "android/content/Intent"
+	Bundle              = "android/os/Bundle"
+	IBinder             = "android/os/IBinder"
+	Binder              = "android/os/Binder"
+	ServiceConnection   = "android/content/ServiceConnection"
+	OnClickListener     = "android/view/View$OnClickListener"
+	OnLongClickListener = "android/view/View$OnLongClickListener"
+	OnTouchListener     = "android/view/View$OnTouchListener"
+	LocationListener    = "android/location/LocationListener"
+	LocationManager     = "android/location/LocationManager"
+	SensorListener      = "android/hardware/SensorEventListener"
+	SensorManager       = "android/hardware/SensorManager"
+	SharedPrefsListener = "android/content/SharedPreferences$OnSharedPreferenceChangeListener"
+	ExecutorService     = "java/util/concurrent/ExecutorService"
+	Timer               = "java/util/Timer"
+	TimerTask           = "java/util/TimerTask"
+	Looper              = "android/os/Looper"
+	// Fragment is declared so apps can subclass it, but threadification
+	// deliberately does not model Fragment callbacks — the paper's
+	// prototype shares this limitation (§8.1), and the Table 3 "Not
+	// detected" row depends on it.
+	Fragment = "android/app/Fragment"
+	// ServiceManager.addService registers an IBinder whose transact
+	// callback is invoked through the framework; the static analysis does
+	// not model this channel (the §8.6 "unanalyzed code" false-negative
+	// source), but the dynamic interpreter does.
+	ServiceManager = "android/os/ServiceManager"
+	// PowerManager / WakeLock back the §9 no-sleep energy-bug extension:
+	// acquire/release ordering violations drain the battery the way
+	// free/use ordering violations crash the app.
+	PowerManager = "android/os/PowerManager"
+	WakeLock     = "android/os/PowerManager$WakeLock"
+)
+
+// WakeLockOp classifies wake-lock API calls for the no-sleep detector.
+type WakeLockOp int
+
+const (
+	WakeNone WakeLockOp = iota
+	// WakeAcquire keeps the device awake until a matching release.
+	WakeAcquire
+	// WakeRelease ends the wake hold.
+	WakeRelease
+	// WakeNew creates a lock (PowerManager.newWakeLock).
+	WakeNew
+)
+
+// ClassifyWakeLock classifies a virtual call against the wake-lock API.
+func ClassifyWakeLock(h Hierarchy, recvClass, method string) WakeLockOp {
+	switch method {
+	case "acquire":
+		if h.IsSubtypeOf(recvClass, WakeLock) {
+			return WakeAcquire
+		}
+	case "release":
+		if h.IsSubtypeOf(recvClass, WakeLock) {
+			return WakeRelease
+		}
+	case "newWakeLock":
+		if h.IsSubtypeOf(recvClass, PowerManager) {
+			return WakeNew
+		}
+	}
+	return WakeNone
+}
+
+// Lifecycle callback method names on Activity subclasses, in framework
+// order. onCreate must happen before every other lifecycle or UI
+// callback; onDestroy must happen after (MHB-Lifecycle, §6.1.1).
+var LifecycleCallbacks = []string{
+	"onCreate", "onStart", "onResume", "onPause", "onStop", "onDestroy",
+	"onRestart", "onActivityResult", "onNewIntent", "onSaveInstanceState",
+	"onRestoreInstanceState", "onRetainNonConfigurationInstance",
+	"onConfigurationChanged", "onLowMemory", "onBackPressed",
+	"onCreateContextMenu", "onCreateOptionsMenu", "onOptionsItemSelected",
+	"onContextItemSelected", "onPrepareOptionsMenu", "onWindowFocusChanged",
+}
+
+// lifecycleSet indexes LifecycleCallbacks.
+var lifecycleSet = toSet(LifecycleCallbacks)
+
+// ServiceLifecycleCallbacks are lifecycle callbacks on Service subclasses.
+var ServiceLifecycleCallbacks = []string{
+	"onCreate", "onStartCommand", "onBind", "onUnbind", "onRebind", "onDestroy",
+	"onLocChgAsyc", // paper Table 3 (MyTracks TrackRecordingService)
+}
+
+var serviceLifecycleSet = toSet(ServiceLifecycleCallbacks)
+
+// ListenerCallback is one (interface, method) entry of the
+// listener-callback catalog.
+type ListenerCallback struct {
+	Interface string
+	Method    string
+}
+
+// ListenerCallbacks catalogs UI and system listener callbacks: apps
+// register an object implementing Interface, after which the framework
+// asynchronously invokes Method on it. These are entry callbacks.
+var ListenerCallbacks = []ListenerCallback{
+	{OnClickListener, "onClick"},
+	{OnLongClickListener, "onLongClick"},
+	{OnTouchListener, "onTouch"},
+	{LocationListener, "onLocationChanged"},
+	{LocationListener, "onProviderDisabled"},
+	{LocationListener, "onProviderEnabled"},
+	{SensorListener, "onSensorChanged"},
+	{SensorListener, "onAccuracyChanged"},
+	{SharedPrefsListener, "onSharedPreferenceChanged"},
+}
+
+// listenerByIface maps interface name -> callback method names.
+var listenerByIface = func() map[string][]string {
+	m := make(map[string][]string)
+	for _, lc := range ListenerCallbacks {
+		m[lc.Interface] = append(m[lc.Interface], lc.Method)
+	}
+	return m
+}()
+
+// PostKind enumerates the posting APIs of §4.2 plus native thread
+// creation. Each recognized call site turns into one or more modeled
+// child threads during threadification.
+type PostKind int
+
+const (
+	PostNone PostKind = iota
+	// PostRunnable: Handler.post / View.post / Activity.runOnUiThread —
+	// enqueues arg0's run() on the receiver's looper.
+	PostRunnable
+	// PostSendMessage: Handler.sendMessage — schedules the *handler's*
+	// handleMessage on its looper.
+	PostSendMessage
+	// PostBindService: Context.bindService(conn) — arg0's
+	// onServiceConnected / onServiceDisconnected become posted callbacks.
+	PostBindService
+	// PostRegisterReceiver: Context.registerReceiver(rcv) — arg0's
+	// onReceive becomes a posted callback.
+	PostRegisterReceiver
+	// PostExecuteTask: AsyncTask.execute — spawns doInBackground on a
+	// background thread plus the onPreExecute/onPostExecute callbacks.
+	PostExecuteTask
+	// PostPublishProgress: AsyncTask.publishProgress — schedules
+	// onProgressUpdate on the parent looper.
+	PostPublishProgress
+	// PostStartThread: Thread.start — spawns the receiver's run() as a
+	// native thread.
+	PostStartThread
+	// PostExecutorSubmit: ExecutorService.execute/submit — runs arg0's
+	// run() on a pool thread (native thread, non-looper).
+	PostExecutorSubmit
+	// PostTimerSchedule: Timer.schedule — runs arg0's run() on the timer
+	// thread (native thread).
+	PostTimerSchedule
+)
+
+var postKindNames = map[PostKind]string{
+	PostNone:             "none",
+	PostRunnable:         "post",
+	PostSendMessage:      "sendMessage",
+	PostBindService:      "bindService",
+	PostRegisterReceiver: "registerReceiver",
+	PostExecuteTask:      "execute",
+	PostPublishProgress:  "publishProgress",
+	PostStartThread:      "start",
+	PostExecutorSubmit:   "submit",
+	PostTimerSchedule:    "schedule",
+}
+
+func (k PostKind) String() string { return postKindNames[k] }
+
+// CancelKind enumerates the API-based cancellation methods behind the
+// unsound CHB filter (§6.2.1).
+type CancelKind int
+
+const (
+	CancelNone CancelKind = iota
+	// CancelFinish: Activity.finish — no UI callbacks of the activity run
+	// afterwards.
+	CancelFinish
+	// CancelUnbindService: Context.unbindService — no further service
+	// connection callbacks.
+	CancelUnbindService
+	// CancelUnregisterReceiver: Context.unregisterReceiver — no further
+	// onReceive.
+	CancelUnregisterReceiver
+	// CancelRemoveCallbacks: Handler.removeCallbacksAndMessages — pending
+	// posts/messages of the handler are dropped.
+	CancelRemoveCallbacks
+	// CancelTask: AsyncTask.cancel.
+	CancelTask
+)
+
+var cancelKindNames = map[CancelKind]string{
+	CancelNone:               "none",
+	CancelFinish:             "finish",
+	CancelUnbindService:      "unbindService",
+	CancelUnregisterReceiver: "unregisterReceiver",
+	CancelRemoveCallbacks:    "removeCallbacksAndMessages",
+	CancelTask:               "cancel",
+}
+
+func (k CancelKind) String() string { return cancelKindNames[k] }
+
+// Hierarchy answers subtype queries; package cha provides the
+// implementation. framework depends only on this interface to avoid an
+// import cycle.
+type Hierarchy interface {
+	// IsSubtypeOf reports whether class sub is super, extends it
+	// (transitively) or implements it (transitively).
+	IsSubtypeOf(sub, super string) bool
+}
+
+// ClassifyPost classifies a virtual call as a posting API given the
+// receiver's static class and the invoked method name.
+func ClassifyPost(h Hierarchy, recvClass, method string) PostKind {
+	switch method {
+	case "post", "postDelayed":
+		if h.IsSubtypeOf(recvClass, Handler) || h.IsSubtypeOf(recvClass, View) {
+			return PostRunnable
+		}
+	case "runOnUiThread":
+		if h.IsSubtypeOf(recvClass, Activity) {
+			return PostRunnable
+		}
+	case "sendMessage", "sendMessageDelayed", "sendEmptyMessage":
+		if h.IsSubtypeOf(recvClass, Handler) {
+			return PostSendMessage
+		}
+	case "bindService":
+		if h.IsSubtypeOf(recvClass, Context) {
+			return PostBindService
+		}
+	case "registerReceiver":
+		if h.IsSubtypeOf(recvClass, Context) {
+			return PostRegisterReceiver
+		}
+	case "execute":
+		if h.IsSubtypeOf(recvClass, AsyncTask) {
+			return PostExecuteTask
+		}
+		if h.IsSubtypeOf(recvClass, ExecutorService) {
+			return PostExecutorSubmit
+		}
+	case "submit":
+		if h.IsSubtypeOf(recvClass, ExecutorService) {
+			return PostExecutorSubmit
+		}
+	case "publishProgress":
+		if h.IsSubtypeOf(recvClass, AsyncTask) {
+			return PostPublishProgress
+		}
+	case "start":
+		if h.IsSubtypeOf(recvClass, Thread) {
+			return PostStartThread
+		}
+	case "schedule":
+		if h.IsSubtypeOf(recvClass, Timer) {
+			return PostTimerSchedule
+		}
+	}
+	return PostNone
+}
+
+// ClassifyCancel classifies a virtual call as a cancellation API.
+func ClassifyCancel(h Hierarchy, recvClass, method string) CancelKind {
+	switch method {
+	case "finish":
+		if h.IsSubtypeOf(recvClass, Activity) {
+			return CancelFinish
+		}
+	case "unbindService":
+		if h.IsSubtypeOf(recvClass, Context) {
+			return CancelUnbindService
+		}
+	case "unregisterReceiver":
+		if h.IsSubtypeOf(recvClass, Context) {
+			return CancelUnregisterReceiver
+		}
+	case "removeCallbacksAndMessages", "removeCallbacks":
+		if h.IsSubtypeOf(recvClass, Handler) {
+			return CancelRemoveCallbacks
+		}
+	case "cancel":
+		if h.IsSubtypeOf(recvClass, AsyncTask) {
+			return CancelTask
+		}
+	}
+	return CancelNone
+}
+
+// IsLifecycleCallback reports whether method name is an Activity
+// lifecycle (or lifecycle-adjacent UI) callback.
+func IsLifecycleCallback(name string) bool { return lifecycleSet[name] }
+
+// IsServiceLifecycleCallback reports whether method name is a Service
+// lifecycle callback.
+func IsServiceLifecycleCallback(name string) bool { return serviceLifecycleSet[name] }
+
+// ListenerMethods returns the callback methods declared by listener
+// interface iface, or nil if iface is not a known listener interface.
+func ListenerMethods(iface string) []string { return listenerByIface[iface] }
+
+// IsRegistrationCall reports whether a call registers a listener whose
+// callbacks become entry callbacks (e.g. setOnClickListener,
+// requestLocationUpdates), returning the argument index holding the
+// listener and the listener interface.
+func IsRegistrationCall(h Hierarchy, recvClass, method string) (argIdx int, iface string, ok bool) {
+	switch method {
+	case "setOnClickListener":
+		if h.IsSubtypeOf(recvClass, View) {
+			return 0, OnClickListener, true
+		}
+	case "setOnLongClickListener":
+		if h.IsSubtypeOf(recvClass, View) {
+			return 0, OnLongClickListener, true
+		}
+	case "setOnTouchListener":
+		if h.IsSubtypeOf(recvClass, View) {
+			return 0, OnTouchListener, true
+		}
+	case "requestLocationUpdates":
+		if h.IsSubtypeOf(recvClass, LocationManager) {
+			return 0, LocationListener, true
+		}
+	case "registerListener":
+		if h.IsSubtypeOf(recvClass, SensorManager) {
+			return 0, SensorListener, true
+		}
+	}
+	return 0, "", false
+}
+
+// AsyncTaskBody is the background method of AsyncTask subclasses.
+const AsyncTaskBody = "doInBackground"
+
+// AsyncTaskCallbacks are the looper-side AsyncTask callbacks and their
+// MHB positions: onPreExecute MHB {doInBackground, onProgressUpdate} MHB
+// onPostExecute.
+var AsyncTaskCallbacks = []string{"onPreExecute", "onProgressUpdate", "onPostExecute"}
+
+// ServiceConnCallbacks are the ServiceConnection callbacks;
+// onServiceConnected MHB onServiceDisconnected.
+var ServiceConnCallbacks = []string{"onServiceConnected", "onServiceDisconnected"}
+
+// ReceiverCallback is the BroadcastReceiver callback.
+const ReceiverCallback = "onReceive"
+
+// HandlerCallback is the Handler message callback.
+const HandlerCallback = "handleMessage"
+
+// RunMethod is Runnable.run / Thread.run.
+const RunMethod = "run"
+
+func toSet(names []string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}

@@ -1,0 +1,115 @@
+package framework_test
+
+import (
+	"testing"
+
+	"nadroid/internal/appbuilder"
+	"nadroid/internal/cha"
+	"nadroid/internal/framework"
+)
+
+// hierarchyFixture builds a hierarchy with app subclasses of the
+// framework types.
+func hierarchyFixture(t *testing.T) *cha.Hierarchy {
+	t.Helper()
+	b := appbuilder.New("fw")
+	b.Activity("fw/Act")
+	b.HandlerClass("fw/H")
+	b.AsyncTaskClass("fw/Task")
+	b.ThreadClass("fw/Thr")
+	b.Runnable("fw/Run")
+	b.Class("fw/Pool", framework.Object, framework.ExecutorService)
+	pkg, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cha.New(pkg.Program)
+}
+
+func TestClassifyPost(t *testing.T) {
+	h := hierarchyFixture(t)
+	cases := []struct {
+		recv, method string
+		want         framework.PostKind
+	}{
+		{"fw/H", "post", framework.PostRunnable},
+		{"fw/H", "postDelayed", framework.PostRunnable},
+		{"fw/H", "sendMessage", framework.PostSendMessage},
+		{"fw/H", "sendEmptyMessage", framework.PostSendMessage},
+		{framework.View, "post", framework.PostRunnable},
+		{"fw/Act", "runOnUiThread", framework.PostRunnable},
+		{"fw/Act", "bindService", framework.PostBindService},
+		{"fw/Act", "registerReceiver", framework.PostRegisterReceiver},
+		{"fw/Task", "execute", framework.PostExecuteTask},
+		{"fw/Task", "publishProgress", framework.PostPublishProgress},
+		{"fw/Thr", "start", framework.PostStartThread},
+		{"fw/Pool", "execute", framework.PostExecutorSubmit},
+		{"fw/Pool", "submit", framework.PostExecutorSubmit},
+		{framework.Timer, "schedule", framework.PostTimerSchedule},
+		// Non-posting lookalikes.
+		{"fw/Run", "post", framework.PostNone},
+		{"fw/Act", "sendMessage", framework.PostNone},
+		{"fw/Thr", "execute", framework.PostNone},
+	}
+	for _, c := range cases {
+		if got := framework.ClassifyPost(h, c.recv, c.method); got != c.want {
+			t.Errorf("ClassifyPost(%s, %s) = %v, want %v", c.recv, c.method, got, c.want)
+		}
+	}
+}
+
+func TestClassifyCancel(t *testing.T) {
+	h := hierarchyFixture(t)
+	cases := []struct {
+		recv, method string
+		want         framework.CancelKind
+	}{
+		{"fw/Act", "finish", framework.CancelFinish},
+		{"fw/Act", "unbindService", framework.CancelUnbindService},
+		{"fw/Act", "unregisterReceiver", framework.CancelUnregisterReceiver},
+		{"fw/H", "removeCallbacksAndMessages", framework.CancelRemoveCallbacks},
+		{"fw/Task", "cancel", framework.CancelTask},
+		{"fw/H", "finish", framework.CancelNone},
+		{"fw/Run", "cancel", framework.CancelNone},
+	}
+	for _, c := range cases {
+		if got := framework.ClassifyCancel(h, c.recv, c.method); got != c.want {
+			t.Errorf("ClassifyCancel(%s, %s) = %v, want %v", c.recv, c.method, got, c.want)
+		}
+	}
+}
+
+func TestRegistrationCalls(t *testing.T) {
+	h := hierarchyFixture(t)
+	arg, iface, ok := framework.IsRegistrationCall(h, framework.View, "setOnClickListener")
+	if !ok || arg != 0 || iface != framework.OnClickListener {
+		t.Errorf("setOnClickListener = (%d,%q,%v)", arg, iface, ok)
+	}
+	_, iface, ok = framework.IsRegistrationCall(h, framework.LocationManager, "requestLocationUpdates")
+	if !ok || iface != framework.LocationListener {
+		t.Errorf("requestLocationUpdates = (%q,%v)", iface, ok)
+	}
+	if _, _, ok := framework.IsRegistrationCall(h, "fw/Act", "setOnClickListener"); ok {
+		t.Error("setOnClickListener on a non-View must not register")
+	}
+}
+
+func TestCallbackCatalogs(t *testing.T) {
+	for _, n := range []string{"onCreate", "onResume", "onDestroy", "onCreateContextMenu", "onActivityResult"} {
+		if !framework.IsLifecycleCallback(n) {
+			t.Errorf("%s should be a lifecycle callback", n)
+		}
+	}
+	if framework.IsLifecycleCallback("run") {
+		t.Error("run is not a lifecycle callback")
+	}
+	if !framework.IsServiceLifecycleCallback("onStartCommand") {
+		t.Error("onStartCommand is a service callback")
+	}
+	if ms := framework.ListenerMethods(framework.OnClickListener); len(ms) != 1 || ms[0] != "onClick" {
+		t.Errorf("OnClickListener methods = %v", ms)
+	}
+	if framework.ListenerMethods("nonexistent/Iface") != nil {
+		t.Error("unknown interfaces have no listener methods")
+	}
+}

@@ -1,0 +1,73 @@
+package inject
+
+import (
+	"testing"
+
+	"nadroid/internal/corpus"
+)
+
+// TestDefaultStudyMatchesPaper regenerates Table 2 and asserts the
+// paper's headline: 28 injections, 2 missed by detection (both the
+// framework-mediated binder path in Mms), 3 pruned by the unsound CHB
+// filter (Browser x2, Puzzles x1), everything else detected.
+func TestDefaultStudyMatchesPaper(t *testing.T) {
+	rows, err := Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, missed, pruned := Totals(rows)
+	if all != 28 {
+		t.Errorf("injected = %d, want 28", all)
+	}
+	if missed != 2 {
+		t.Errorf("missed = %d, want 2", missed)
+	}
+	if pruned != 3 {
+		t.Errorf("pruned by unsound = %d, want 3", pruned)
+	}
+	byApp := map[string]Row{}
+	for _, r := range rows {
+		byApp[r.App] = r
+	}
+	if byApp["Mms"].Missed() != 2 {
+		t.Errorf("Mms missed = %d, want 2 (hidden binder)", byApp["Mms"].Missed())
+	}
+	if byApp["Browser"].PrunedUnsound() != 2 {
+		t.Errorf("Browser pruned = %d, want 2 (error finish)", byApp["Browser"].PrunedUnsound())
+	}
+	if byApp["SGTPuzzles"].PrunedUnsound() != 1 {
+		t.Errorf("Puzzles pruned = %d, want 1", byApp["SGTPuzzles"].PrunedUnsound())
+	}
+	// The sound filters must never eat an injected true bug.
+	for _, r := range rows {
+		for _, res := range r.Results {
+			if res.Outcome == PrunedBySound {
+				t.Errorf("%s: injected %v pruned by a SOUND filter — soundness bug", r.App, res.Site)
+			}
+		}
+	}
+}
+
+// Every basic injection kind is detectable in a minimal app.
+func TestEachKindDetectedInIsolation(t *testing.T) {
+	base := corpus.Spec{Name: "iso"}
+	for _, k := range []corpus.InjectionKind{
+		corpus.InjectECEC, corpus.InjectECPC, corpus.InjectPCPC,
+		corpus.InjectCRT, corpus.InjectCNT,
+	} {
+		rows, err := Run([]Plan{{App: "Tomdroid", Kinds: []corpus.InjectionKind{k}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rows[0].Detected() != 1 {
+			t.Errorf("kind %v: detected = %d, want 1", k, rows[0].Detected())
+		}
+	}
+	_ = base
+}
+
+func TestUnknownAppRejected(t *testing.T) {
+	if _, err := Run([]Plan{{App: "NoSuchApp"}}); err == nil {
+		t.Fatal("unknown apps must error")
+	}
+}

@@ -1,0 +1,378 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"nadroid/internal/apk"
+	"nadroid/internal/appbuilder"
+	"nadroid/internal/framework"
+)
+
+func buildPkg(t *testing.T, f func(b *appbuilder.Builder)) *apk.Package {
+	t.Helper()
+	b := appbuilder.New("it")
+	f(b)
+	pkg, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+func runAll(pkg *apk.Package, opts Options) *World {
+	w := NewWorld(pkg, opts)
+	Run(w, nil)
+	return w
+}
+
+func TestLifecycleOrderOnDefaultSchedule(t *testing.T) {
+	pkg := buildPkg(t, func(b *appbuilder.Builder) {
+		act := b.Activity("it/A")
+		for _, n := range []string{"onStart", "onResume", "onPause", "onStop", "onDestroy"} {
+			act.Method(n, 0).Return()
+		}
+		act.Method("onCreate", 1).Return()
+	})
+	w := runAll(pkg, Options{Trace: true})
+	trace := strings.Join(w.Trace(), "\n")
+	idx := func(s string) int { return strings.Index(trace, s) }
+	if !(idx("fire lifecycle:onCreate") >= 0 &&
+		idx("fire lifecycle:onCreate") < idx("fire lifecycle:onStart") &&
+		idx("fire lifecycle:onStart") < idx("fire lifecycle:onResume")) {
+		t.Errorf("lifecycle chain out of order:\n%s", trace)
+	}
+}
+
+func TestUIEventsRequireResumedState(t *testing.T) {
+	pkg := buildPkg(t, func(b *appbuilder.Builder) {
+		act := b.Activity("it/A")
+		act.Method("onResume", 0).Return()
+		act.Method("onPause", 0).Return()
+		oc := act.Method("onCreate", 1)
+		view := oc.New(framework.View)
+		l := oc.New("it/L")
+		oc.InvokeVoid(view, framework.View, "setOnClickListener", l)
+		oc.Return()
+		b.Class("it/L", framework.Object, framework.OnClickListener).Method("onClick", 1).Return()
+	})
+	w := NewWorld(pkg, Options{Trace: true})
+	Run(w, nil)
+	trace := strings.Join(w.Trace(), "\n")
+	clickAt := strings.Index(trace, "fire ui:")
+	resumeAt := strings.Index(trace, "fire lifecycle:onResume")
+	if clickAt >= 0 && (resumeAt < 0 || clickAt < resumeAt) {
+		t.Errorf("clicks before onResume:\n%s", trace)
+	}
+}
+
+func TestRemoveCallbacksDropsPendingMessages(t *testing.T) {
+	pkg := buildPkg(t, func(b *appbuilder.Builder) {
+		act := b.Activity("it/A")
+		act.Field("h", "it/H")
+		h := b.HandlerClass("it/H")
+		h.Field("outer", "it/A")
+		hm := h.Method("handleMessage", 1)
+		o := hm.GetThis("outer")
+		f := hm.GetField(o, "it/A", "absent")
+		hm.Use(f, framework.Object) // would NPE (field never set)
+		hm.Return()
+		act.Field("absent", framework.Object)
+		oc := act.Method("onCreate", 1)
+		hr := oc.New("it/H")
+		oc.PutField(hr, "it/H", "outer", oc.This())
+		oc.PutThis("h", hr)
+		msg := oc.New(framework.Message)
+		oc.InvokeVoid(hr, "it/H", "sendMessage", msg)
+		// Immediately cancel: the pending handleMessage must never run.
+		oc.InvokeVoid(hr, "it/H", "removeCallbacksAndMessages")
+		oc.Return()
+	})
+	w := runAll(pkg, Options{})
+	if len(w.NPEs()) != 0 {
+		t.Errorf("removed message still ran: %v", w.NPEs())
+	}
+}
+
+func TestUnregisterReceiverDisablesEvents(t *testing.T) {
+	pkg := buildPkg(t, func(b *appbuilder.Builder) {
+		act := b.Activity("it/A")
+		act.Field("rcv", "it/R")
+		act.Field("f", framework.Object)
+		r := b.Class("it/R", framework.BroadcastReceiver)
+		r.Field("outer", "it/A")
+		or := r.Method("onReceive", 1)
+		o := or.GetThis("outer")
+		f := or.GetField(o, "it/A", "f")
+		or.Use(f, framework.Object)
+		or.Return()
+		oc := act.Method("onCreate", 1)
+		rv := oc.New("it/R")
+		oc.PutField(rv, "it/R", "outer", oc.This())
+		oc.PutThis("rcv", rv)
+		oc.InvokeVoid(oc.This(), "it/A", "registerReceiver", rv)
+		oc.InvokeVoid(oc.This(), "it/A", "unregisterReceiver", rv)
+		oc.Return()
+	})
+	w := runAll(pkg, Options{})
+	if len(w.NPEs()) != 0 {
+		t.Errorf("unregistered receiver still fired: %v", w.NPEs())
+	}
+}
+
+func TestMaxStepsBoundsRunaway(t *testing.T) {
+	pkg := buildPkg(t, func(b *appbuilder.Builder) {
+		act := b.Activity("it/A")
+		oc := act.Method("onCreate", 1)
+		oc.Label("loop")
+		oc.Goto("loop")
+	})
+	w := NewWorld(pkg, Options{MaxSteps: 500})
+	Run(w, nil)
+	if w.Steps() > 500 {
+		t.Errorf("steps = %d, want <= 500", w.Steps())
+	}
+}
+
+func TestThrowAbortsTaskOnly(t *testing.T) {
+	pkg := buildPkg(t, func(b *appbuilder.Builder) {
+		act := b.Activity("it/A")
+		oc := act.Method("onCreate", 1)
+		ex := oc.New(framework.Exception)
+		oc.Throw(ex)
+		oc.Return() // unreachable
+		orr := act.Method("onResume", 0)
+		orr.Return()
+	})
+	w := runAll(pkg, Options{Trace: true})
+	trace := strings.Join(w.Trace(), "\n")
+	if !strings.Contains(trace, "throw") {
+		t.Error("throw not traced")
+	}
+	if !strings.Contains(trace, "fire lifecycle:onResume") {
+		t.Error("execution must continue after an aborted task")
+	}
+}
+
+func TestNPEAttributionNamesLoadSite(t *testing.T) {
+	pkg := buildPkg(t, func(b *appbuilder.Builder) {
+		act := b.Activity("it/A")
+		act.Field("f", "it/V")
+		b.Class("it/V", framework.Object).Method("use", 0).Return()
+		oc := act.Method("onCreate", 1)
+		f := oc.GetThis("f") // null: never assigned
+		oc.Use(f, "it/V")
+		oc.Return()
+	})
+	w := runAll(pkg, Options{})
+	if len(w.NPEs()) != 1 {
+		t.Fatalf("NPEs = %v", w.NPEs())
+	}
+	npe := w.NPEs()[0]
+	if npe.Field.Name != "f" {
+		t.Errorf("NPE field = %v, want f", npe.Field)
+	}
+	if !strings.Contains(npe.LoadedAt.Method, "onCreate") {
+		t.Errorf("LoadedAt = %v", npe.LoadedAt)
+	}
+}
+
+func TestNPEAttributionThroughCallArguments(t *testing.T) {
+	pkg := buildPkg(t, func(b *appbuilder.Builder) {
+		act := b.Activity("it/A")
+		act.Field("f", "it/V")
+		b.Class("it/V", framework.Object).Method("use", 0).Return()
+		helper := act.Method("deref", 1)
+		helper.Use(helper.Arg(0), "it/V")
+		helper.Return()
+		oc := act.Method("onCreate", 1)
+		f := oc.GetThis("f")
+		oc.InvokeThis("deref", f)
+		oc.Return()
+	})
+	w := runAll(pkg, Options{})
+	if len(w.NPEs()) != 1 {
+		t.Fatalf("NPEs = %v", w.NPEs())
+	}
+	if !strings.Contains(w.NPEs()[0].LoadedAt.Method, "onCreate") {
+		t.Errorf("load-site attribution lost across call: %v", w.NPEs()[0])
+	}
+}
+
+func TestStopOnNPEHalts(t *testing.T) {
+	pkg := buildPkg(t, func(b *appbuilder.Builder) {
+		act := b.Activity("it/A")
+		act.Field("f", "it/V")
+		b.Class("it/V", framework.Object).Method("use", 0).Return()
+		oc := act.Method("onCreate", 1)
+		f := oc.GetThis("f")
+		oc.Use(f, "it/V")
+		oc.Return()
+		orr := act.Method("onResume", 0)
+		g := orr.GetThis("f")
+		orr.Use(g, "it/V")
+		orr.Return()
+	})
+	w := NewWorld(pkg, Options{StopOnNPE: true})
+	Run(w, nil)
+	if len(w.NPEs()) != 1 {
+		t.Errorf("StopOnNPE should record exactly one NPE, got %d", len(w.NPEs()))
+	}
+}
+
+func TestUnreachableComponentsNeverRun(t *testing.T) {
+	pkg := buildPkg(t, func(b *appbuilder.Builder) {
+		dead := b.UnreachableActivity("it/Dead")
+		oc := dead.Method("onCreate", 1)
+		f := oc.GetThis("f")
+		oc.Use(f, framework.Object)
+		oc.Return()
+		dead.Field("f", framework.Object)
+	})
+	w := runAll(pkg, Options{})
+	if len(w.NPEs()) != 0 {
+		t.Errorf("unreachable component executed: %v", w.NPEs())
+	}
+}
+
+func TestAsyncTaskChainOrder(t *testing.T) {
+	pkg := buildPkg(t, func(b *appbuilder.Builder) {
+		act := b.Activity("it/A")
+		task := b.AsyncTaskClass("it/T")
+		task.Field("v", framework.Object)
+		pre := task.Method("onPreExecute", 0)
+		o := pre.New(framework.Object)
+		pre.PutThis("v", o)
+		pre.Return()
+		dib := task.Method("doInBackground", 0)
+		v := dib.GetThis("v")
+		dib.Use(v, framework.Object) // safe only if pre ran first
+		dib.Return()
+		post := task.Method("onPostExecute", 0)
+		v2 := post.GetThis("v")
+		post.Use(v2, framework.Object)
+		post.Return()
+		oc := act.Method("onCreate", 1)
+		tk := oc.New("it/T")
+		oc.InvokeVoid(tk, "it/T", "execute")
+		oc.Return()
+	})
+	w := runAll(pkg, Options{})
+	if len(w.NPEs()) != 0 {
+		t.Errorf("AsyncTask chain violated pre->body->post order: %v", w.NPEs())
+	}
+}
+
+func TestWakeLockCounting(t *testing.T) {
+	pkg := buildPkg(t, func(b *appbuilder.Builder) {
+		act := b.Activity("it/A")
+		act.Field("wl", framework.WakeLock)
+		oc := act.Method("onCreate", 1)
+		pm := oc.New(framework.PowerManager)
+		wl := oc.Invoke(pm, framework.PowerManager, "newWakeLock")
+		oc.PutThis("wl", wl)
+		oc.InvokeVoid(wl, framework.WakeLock, "acquire")
+		oc.InvokeVoid(wl, framework.WakeLock, "acquire") // reentrant
+		oc.InvokeVoid(wl, framework.WakeLock, "release")
+		oc.Return()
+	})
+	w := runAll(pkg, Options{})
+	if w.HeldWakeLocks() != 1 {
+		t.Errorf("held = %d, want 1 (2 acquires - 1 release)", w.HeldWakeLocks())
+	}
+
+	pkg2 := buildPkg(t, func(b *appbuilder.Builder) {
+		act := b.Activity("it/B")
+		oc := act.Method("onCreate", 1)
+		pm := oc.New(framework.PowerManager)
+		wl := oc.Invoke(pm, framework.PowerManager, "newWakeLock")
+		oc.InvokeVoid(wl, framework.WakeLock, "acquire")
+		oc.InvokeVoid(wl, framework.WakeLock, "release")
+		oc.Return()
+	})
+	w2 := runAll(pkg2, Options{})
+	if w2.HeldWakeLocks() != 0 {
+		t.Errorf("held = %d, want 0 (balanced)", w2.HeldWakeLocks())
+	}
+}
+
+func TestExecutorAndTimerSpawnThreads(t *testing.T) {
+	pkg := buildPkg(t, func(b *appbuilder.Builder) {
+		act := b.Activity("it/A")
+		act.Field("done", framework.Object)
+		job := b.Runnable("it/Job")
+		job.Field("outer", "it/A")
+		rm := job.Method("run", 0)
+		o := rm.GetThis("outer")
+		v := rm.New(framework.Object)
+		rm.PutField(o, "it/A", "done", v)
+		rm.Return()
+		tt := b.Class("it/Tick", framework.TimerTask)
+		tt.Field("outer", "it/A")
+		tm := tt.Method("run", 0)
+		to := tm.GetThis("outer")
+		tv := tm.New(framework.Object)
+		tm.PutField(to, "it/A", "done", tv)
+		tm.Return()
+		oc := act.Method("onCreate", 1)
+		pool := oc.New(framework.ExecutorService)
+		j := oc.New("it/Job")
+		oc.PutField(j, "it/Job", "outer", oc.This())
+		oc.InvokeVoid(pool, framework.ExecutorService, "execute", j)
+		timer := oc.New(framework.Timer)
+		k := oc.New("it/Tick")
+		oc.PutField(k, "it/Tick", "outer", oc.This())
+		zero := oc.Reg()
+		oc.Int(zero, 0)
+		oc.InvokeVoid(timer, framework.Timer, "schedule", k, zero)
+		oc.Return()
+	})
+	w := NewWorld(pkg, Options{Trace: true})
+	Run(w, nil)
+	trace := strings.Join(w.Trace(), "\n")
+	if !strings.Contains(trace, "spawn pool:it/Job") {
+		t.Errorf("executor job not spawned:\n%s", trace)
+	}
+	if !strings.Contains(trace, "spawn pool:it/Tick") {
+		t.Errorf("timer task not spawned:\n%s", trace)
+	}
+}
+
+func TestViewPostEnqueuesRunnable(t *testing.T) {
+	pkg := buildPkg(t, func(b *appbuilder.Builder) {
+		act := b.Activity("it/A")
+		job := b.Runnable("it/Job")
+		job.Method("run", 0).Return()
+		oc := act.Method("onCreate", 1)
+		view := oc.New(framework.View)
+		j := oc.New("it/Job")
+		oc.InvokeVoid(view, framework.View, "post", j)
+		oc.Return()
+	})
+	w := NewWorld(pkg, Options{Trace: true})
+	Run(w, nil)
+	trace := strings.Join(w.Trace(), "\n")
+	if !strings.Contains(trace, "enqueue post:it/Job.run") {
+		t.Errorf("View.post must enqueue on the looper:\n%s", trace)
+	}
+}
+
+func TestSpawnFilterSuppressesThreads(t *testing.T) {
+	pkg := buildPkg(t, func(b *appbuilder.Builder) {
+		act := b.Activity("it/A")
+		th := b.ThreadClass("it/W")
+		th.Method("run", 0).Return()
+		oc := act.Method("onCreate", 1)
+		tv := oc.New("it/W")
+		oc.InvokeVoid(tv, "it/W", "start")
+		oc.Return()
+	})
+	opts := Options{Trace: true, SpawnFilter: func(class string) bool { return false }}
+	w := NewWorld(pkg, opts)
+	Run(w, nil)
+	for _, line := range w.Trace() {
+		if strings.HasPrefix(line, "spawn") {
+			t.Errorf("spawn filter ignored: %s", line)
+		}
+	}
+}

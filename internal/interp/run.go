@@ -1,0 +1,96 @@
+package interp
+
+import "nadroid/internal/ir"
+
+// blockedOnMonitor reports whether the executor's next instruction is a
+// monitor-enter on a lock held by someone else; such executors are not
+// schedulable until the lock frees.
+func (w *World) blockedOnMonitor(e *executor) bool {
+	if e.idle() {
+		return false
+	}
+	f := e.top()
+	if f.pc >= len(f.m.Instrs) {
+		return false
+	}
+	in := f.m.Instrs[f.pc]
+	if in.Op != ir.OpMonitorEnter {
+		return false
+	}
+	obj, ok := f.regs[in.B].(*Object)
+	if !ok {
+		return false // will NPE, still schedulable
+	}
+	owner, _ := obj.Fields["$lockOwner"].(int64)
+	depth, _ := obj.Fields["$lockDepth"].(int64)
+	return depth > 0 && owner != int64(e.id)
+}
+
+// ScheduleInfo records the branching structure a run encountered, so an
+// explorer can enumerate sibling schedules.
+type ScheduleInfo struct {
+	// Arity[i] is the number of options at the i-th choice point (only
+	// points with >1 option consume a schedule entry).
+	Arity []int
+	// Taken[i] is the option index chosen at the i-th choice point.
+	Taken []int
+}
+
+// Run executes the package under a schedule: whenever more than one
+// scheduler option exists, the next schedule entry picks one (modulo the
+// option count); after the schedule is exhausted, option 0 is taken.
+// Single-option points do not consume schedule entries, keeping
+// schedules short and stable for DFS exploration.
+func Run(w *World, schedule []int) *ScheduleInfo {
+	info := &ScheduleInfo{}
+	pos := 0
+	for !w.halted && w.steps < w.opts.MaxSteps {
+		opts := w.Options()
+		// Drop blocked executors from the option list.
+		filtered := opts[:0]
+		for _, o := range opts {
+			o := o
+			if len(o.key) > 4 && o.key[:4] == "run:" {
+				if ex := w.executorFor(o.key[4:]); ex != nil && w.blockedOnMonitor(ex) {
+					continue
+				}
+			}
+			filtered = append(filtered, o)
+		}
+		opts = filtered
+		if len(opts) == 0 {
+			break
+		}
+		choice := 0
+		if len(opts) > 1 {
+			if pos < len(schedule) {
+				choice = schedule[pos] % len(opts)
+				if choice < 0 {
+					choice += len(opts)
+				}
+			}
+			info.Arity = append(info.Arity, len(opts))
+			info.Taken = append(info.Taken, choice)
+			pos++
+		}
+		opts[choice].run(w)
+	}
+	return info
+}
+
+// executorFor finds an executor by name ("looper" or a bg name).
+func (w *World) executorFor(name string) *executor {
+	if name == "looper" {
+		return w.looper
+	}
+	for _, bg := range w.bgs {
+		if bg.name == name {
+			return bg
+		}
+	}
+	return nil
+}
+
+// RunPackage is the convenience entry: build a world and run it.
+// Deterministic for a fixed schedule.
+func RunDefault(w *World) *ScheduleInfo { return Run(w, nil) }

@@ -1,0 +1,565 @@
+package interp
+
+import (
+	"nadroid/internal/framework"
+	"nadroid/internal/ir"
+)
+
+// quantum advances one executor: it runs instructions until the executor
+// idles, blocks on a monitor, or completes a field access. Ending each
+// quantum right after a field access lets the scheduler interleave
+// executors at every point that matters for UAF manifestation while
+// keeping schedules short.
+func (w *World) quantum(e *executor) {
+	prev := w.activeExec
+	w.activeExec = e
+	defer func() { w.activeExec = prev }()
+	for {
+		if w.halted || w.steps >= w.opts.MaxSteps {
+			return
+		}
+		if e.idle() {
+			if e.onDone != nil {
+				done := e.onDone
+				e.onDone = nil
+				done(w)
+			}
+			if !e.isLooper {
+				e.dead = true
+			}
+			return
+		}
+		f := e.top()
+		if f.pc >= len(f.m.Instrs) {
+			w.popFrame(e, nil)
+			continue
+		}
+		in := f.m.Instrs[f.pc]
+		w.steps++
+		fieldAccess, blocked := w.exec(e, f, in)
+		if blocked {
+			return
+		}
+		if fieldAccess {
+			return
+		}
+	}
+}
+
+func (e *executor) top() *frame { return e.stack[len(e.stack)-1] }
+
+// popFrame returns from the top frame, delivering ret to the caller.
+func (w *World) popFrame(e *executor, ret Value) {
+	f := e.stack[len(e.stack)-1]
+	e.stack = e.stack[:len(e.stack)-1]
+	if f.m.Synch && !f.m.Static {
+		if obj, ok := f.regs[f.m.ThisReg()].(*Object); ok {
+			w.unlock(e, obj)
+		}
+	}
+	if len(e.stack) > 0 && f.retTo != ir.NoReg {
+		e.top().regs[f.retTo] = ret
+	}
+}
+
+// exec runs one instruction. It returns (fieldAccess, blocked).
+func (w *World) exec(e *executor, f *frame, in ir.Instr) (bool, bool) {
+	advance := func() { f.pc++ }
+	switch in.Op {
+	case ir.OpNop:
+		advance()
+	case ir.OpConstNull:
+		f.regs[in.A] = nil
+		delete(f.loadSite, in.A)
+		advance()
+	case ir.OpConstInt:
+		f.regs[in.A] = in.IntVal
+		advance()
+	case ir.OpConstStr:
+		f.regs[in.A] = in.StrVal
+		advance()
+	case ir.OpNew:
+		f.regs[in.A] = w.alloc(in.Type)
+		delete(f.loadSite, in.A)
+		advance()
+	case ir.OpMove:
+		f.regs[in.A] = f.regs[in.B]
+		if s, ok := f.loadSite[in.B]; ok {
+			f.loadSite[in.A] = s
+		} else {
+			delete(f.loadSite, in.A)
+		}
+		advance()
+
+	case ir.OpGetField:
+		base, ok := f.regs[in.B].(*Object)
+		if !ok {
+			w.throwNPE(e, f, in)
+			return true, false
+		}
+		f.regs[in.A] = base.Get(in.Field.Name)
+		f.loadSite[in.A] = w.here(e, f)
+		w.recordAccess(e, f, in, base, false, false)
+		advance()
+		return true, false
+	case ir.OpPutField:
+		base, ok := f.regs[in.B].(*Object)
+		if !ok {
+			w.throwNPE(e, f, in)
+			return true, false
+		}
+		base.Set(in.Field.Name, f.regs[in.A])
+		w.recordAccess(e, f, in, base, true, f.regs[in.A] == nil)
+		advance()
+		return true, false
+	case ir.OpGetStatic:
+		f.regs[in.A] = w.statics[in.Field.String()]
+		f.loadSite[in.A] = w.here(e, f)
+		w.recordAccess(e, f, in, nil, false, false)
+		advance()
+		return true, false
+	case ir.OpPutStatic:
+		w.statics[in.Field.String()] = f.regs[in.A]
+		w.recordAccess(e, f, in, nil, true, f.regs[in.A] == nil)
+		advance()
+		return true, false
+
+	case ir.OpReturn:
+		var ret Value
+		if in.A != ir.NoReg {
+			ret = f.regs[in.A]
+		}
+		w.popFrame(e, ret)
+
+	case ir.OpGoto:
+		f.pc = f.m.Index(in.Target)
+	case ir.OpIfNull:
+		if f.regs[in.B] == nil {
+			f.pc = f.m.Index(in.Target)
+		} else {
+			advance()
+		}
+	case ir.OpIfNonNull:
+		if f.regs[in.B] != nil {
+			f.pc = f.m.Index(in.Target)
+		} else {
+			advance()
+		}
+	case ir.OpIfCond:
+		if w.opts.TakeOpaqueBranches {
+			f.pc = f.m.Index(in.Target)
+		} else {
+			advance()
+		}
+
+	case ir.OpMonitorEnter:
+		obj, ok := f.regs[in.B].(*Object)
+		if !ok {
+			w.throwNPE(e, f, in)
+			return true, false
+		}
+		if !w.lock(e, obj) {
+			return false, true // blocked; pc unchanged, retried later
+		}
+		advance()
+	case ir.OpMonitorExit:
+		if obj, ok := f.regs[in.B].(*Object); ok {
+			w.unlock(e, obj)
+		}
+		advance()
+
+	case ir.OpThrow:
+		w.tracef("throw in %s", e.name)
+		w.abortTask(e)
+
+	case ir.OpInvoke:
+		return w.execInvoke(e, f, in), false
+	case ir.OpInvokeStatic:
+		if m := w.h.Resolve(in.Callee.Class, in.Callee.Name); m != nil && !m.Abstract {
+			args := make([]Value, len(in.Args))
+			for i, r := range in.Args {
+				args[i] = f.regs[r]
+			}
+			f.pc++
+			e.push(m, nil, args, in.A)
+			w.lockSyncEntry(e, m, nil)
+			return false, false
+		}
+		if in.A != ir.NoReg {
+			f.regs[in.A] = nil
+		}
+		advance()
+	default:
+		advance()
+	}
+	return false, false
+}
+
+// execInvoke handles virtual calls: app methods push frames; framework
+// methods run as intrinsics. Returns true when the step counts as a
+// field-access-like boundary (posting and NPE points do).
+func (w *World) execInvoke(e *executor, f *frame, in ir.Instr) bool {
+	recv := f.regs[in.B]
+	obj, isObj := recv.(*Object)
+	if !isObj {
+		w.throwNPE(e, f, in)
+		return true
+	}
+	args := make([]Value, len(in.Args))
+	for i, r := range in.Args {
+		args[i] = f.regs[r]
+	}
+	// Concrete app method?
+	if m := w.h.Resolve(obj.Class, in.Callee.Name); m != nil && !m.Abstract {
+		argSites := make([]ir.InstrID, len(in.Args))
+		for i, r := range in.Args {
+			argSites[i] = f.loadSite[r]
+		}
+		f.pc++
+		e.pushWithSites(m, obj, args, in.A, f.loadSite[in.B], argSites)
+		w.lockSyncEntry(e, m, obj)
+		return false
+	}
+	// Framework intrinsic.
+	ret, boundary := w.intrinsic(e, in.Callee.Name, obj, args)
+	if in.A != ir.NoReg {
+		f.regs[in.A] = ret
+	}
+	f.pc++
+	return boundary
+}
+
+// recordAccess appends one trace access event (Options.Record).
+func (w *World) recordAccess(e *executor, f *frame, in ir.Instr, base *Object, isWrite, isNull bool) {
+	if !w.opts.Record {
+		return
+	}
+	objID := 0
+	if base != nil {
+		objID = base.ID
+	}
+	w.rec.Accesses = append(w.rec.Accesses, AccessEvent{
+		Task:    e.curTask,
+		Instr:   w.here(e, f),
+		Field:   in.Field,
+		Obj:     objID,
+		IsWrite: isWrite,
+		IsNull:  isNull,
+	})
+}
+
+// lockSyncEntry acquires the receiver lock for synchronized methods.
+// Cooperative scheduling means acquisition at entry cannot block here:
+// if the lock is held by another executor we simply spin the frame at
+// pc=0 via a monitor instruction convention. To keep semantics simple,
+// synchronized-method locks are acquired unconditionally; contention is
+// modeled only for explicit monitor instructions.
+func (w *World) lockSyncEntry(e *executor, m *ir.Method, obj *Object) {
+	if m.Synch && obj != nil {
+		w.lock(e, obj)
+	}
+}
+
+// lock tries to acquire obj's monitor for e; false means blocked.
+func (w *World) lock(e *executor, obj *Object) bool {
+	owner, _ := obj.Fields["$lockOwner"].(int64)
+	depth, _ := obj.Fields["$lockDepth"].(int64)
+	if depth > 0 && owner != int64(e.id) {
+		return false
+	}
+	obj.Fields["$lockOwner"] = int64(e.id)
+	obj.Fields["$lockDepth"] = depth + 1
+	return true
+}
+
+func (w *World) unlock(e *executor, obj *Object) {
+	depth, _ := obj.Fields["$lockDepth"].(int64)
+	if depth > 0 {
+		obj.Fields["$lockDepth"] = depth - 1
+	}
+}
+
+// here returns the current instruction's ID.
+func (w *World) here(e *executor, f *frame) ir.InstrID {
+	return ir.InstrID{Method: f.m.Ref(), Index: f.pc}
+}
+
+// throwNPE records a NullPointerException at the current instruction and
+// aborts the faulting task/thread.
+func (w *World) throwNPE(e *executor, f *frame, in ir.Instr) {
+	npe := NPE{At: w.here(e, f), Task: e.name}
+	if site, ok := f.loadSite[in.B]; ok {
+		npe.LoadedAt = site
+		if m, err := w.h.MethodByRef(site.Method); err == nil && site.Index < len(m.Instrs) {
+			npe.Field = m.Instrs[site.Index].Field
+		}
+	}
+	w.npes = append(w.npes, npe)
+	w.tracef("NPE %s", npe)
+	w.abortTask(e)
+	if w.opts.StopOnNPE {
+		w.halted = true
+	}
+}
+
+// abortTask unwinds the executor (uncaught exception).
+func (w *World) abortTask(e *executor) {
+	for len(e.stack) > 0 {
+		w.popFrame(e, nil)
+	}
+	e.onDone = nil
+	if !e.isLooper {
+		e.dead = true
+	}
+}
+
+// intrinsic implements framework API semantics. It returns the call's
+// result and whether the call is a scheduling boundary.
+func (w *World) intrinsic(e *executor, name string, recv *Object, args []Value) (Value, bool) {
+	h := w.h
+	argObj := func(i int) *Object {
+		if i < len(args) {
+			o, _ := args[i].(*Object)
+			return o
+		}
+		return nil
+	}
+
+	// Registration APIs install external events.
+	if argIdx, iface, ok := framework.IsRegistrationCall(h, recv.Class, name); ok {
+		if l := argObj(argIdx); l != nil {
+			var view *Object
+			if h.IsSubtypeOf(recv.Class, framework.View) {
+				view = recv
+			}
+			for _, cb := range framework.ListenerMethods(iface) {
+				if m := h.Resolve(l.Class, cb); m != nil {
+					w.addEvent(&extEvent{
+						name: "ui:" + l.Class + "." + cb, component: e.component,
+						m: m, recv: l, args: lifecycleArgs(m),
+						maxFires: w.opts.MaxUIFires, uiLike: true,
+						needsResumed:  w.hasResumeMethod[e.component],
+						view:          view,
+						registrarTask: e.curTask,
+					})
+				}
+			}
+		}
+		return nil, true
+	}
+
+	switch framework.ClassifyPost(h, recv.Class, name) {
+	case framework.PostRunnable:
+		// Handler.post, View.post and runOnUiThread all take the runnable
+		// as their first argument.
+		if target := argObj(0); target != nil {
+			if m := h.Resolve(target.Class, framework.RunMethod); m != nil {
+				var hd *Object
+				if h.IsSubtypeOf(recv.Class, framework.Handler) {
+					hd = recv
+				}
+				w.enqueue(&task{name: "post:" + target.Class + ".run", m: m, recv: target,
+					component: e.component, handler: hd})
+			}
+		}
+		return nil, true
+	case framework.PostSendMessage:
+		if m := h.Resolve(recv.Class, framework.HandlerCallback); m != nil {
+			msg := args
+			w.enqueue(&task{name: "msg:" + recv.Class + ".handleMessage", m: m, recv: recv,
+				args: msg, component: e.component, handler: recv})
+		}
+		return nil, true
+	case framework.PostBindService:
+		if conn := argObj(0); conn != nil {
+			w.bindServiceEvents(e, conn)
+		}
+		return nil, true
+	case framework.PostRegisterReceiver:
+		if rcv := argObj(0); rcv != nil {
+			if m := h.Resolve(rcv.Class, framework.ReceiverCallback); m != nil {
+				w.addEvent(&extEvent{
+					name: "receiver:" + rcv.Class + ".onReceive", component: e.component,
+					m: m, recv: rcv, args: lifecycleArgs(m),
+					maxFires: w.opts.MaxUIFires, uiLike: true,
+					registrarTask: e.curTask,
+				})
+			}
+		}
+		return nil, true
+	case framework.PostExecuteTask:
+		w.executeAsyncTask(e, recv)
+		return nil, true
+	case framework.PostPublishProgress:
+		if m := h.Resolve(recv.Class, "onProgressUpdate"); m != nil {
+			w.enqueue(&task{name: "progress:" + recv.Class, m: m, recv: recv, component: e.component})
+		}
+		return nil, true
+	case framework.PostStartThread:
+		if m := h.Resolve(recv.Class, framework.RunMethod); m != nil {
+			w.spawnBg("thread:"+recv.Class, m, recv, nil, e.component, nil)
+		}
+		return nil, true
+	case framework.PostExecutorSubmit, framework.PostTimerSchedule:
+		if r := argObj(0); r != nil {
+			if m := h.Resolve(r.Class, framework.RunMethod); m != nil {
+				w.spawnBg("pool:"+r.Class, m, r, nil, e.component, nil)
+			}
+		}
+		return nil, true
+	}
+
+	switch framework.ClassifyCancel(h, recv.Class, name) {
+	case framework.CancelFinish:
+		w.finished[recv.Class] = true
+		w.tracef("finish %s", recv.Class)
+		return nil, true
+	case framework.CancelUnbindService:
+		if conn := argObj(0); conn != nil {
+			w.removeEventsFor(conn)
+		}
+		return nil, true
+	case framework.CancelUnregisterReceiver:
+		if rcv := argObj(0); rcv != nil {
+			w.removeEventsFor(rcv)
+		}
+		return nil, true
+	case framework.CancelRemoveCallbacks:
+		kept := w.queue[:0]
+		for _, t := range w.queue {
+			if t.handler != recv {
+				kept = append(kept, t)
+			}
+		}
+		w.queue = kept
+		return nil, true
+	case framework.CancelTask:
+		return nil, true
+	}
+
+	// ServiceManager.addService registers an IBinder whose transact()
+	// the framework may invoke later. The static analysis has no model
+	// for this channel (§8.6 "unanalyzed code"), but the runtime does —
+	// exactly the asymmetry behind Table 2's missed detections.
+	if name == "addService" && h.IsSubtypeOf(recv.Class, framework.ServiceManager) {
+		if b := argObj(0); b != nil {
+			if m := h.Resolve(b.Class, "transact"); m != nil {
+				w.addEvent(&extEvent{
+					name: "binder:" + b.Class + ".transact", component: e.component,
+					m: m, recv: b, args: lifecycleArgs(m),
+					maxFires: w.opts.MaxUIFires, uiLike: true,
+					registrarTask: e.curTask,
+				})
+			}
+		}
+		return nil, true
+	}
+
+	// UI state changes that enable/disable other events (§8.5 "Missing
+	// Happens-Before").
+	if name == "setVisibility" || name == "setEnabled" {
+		if h.IsSubtypeOf(recv.Class, framework.View) {
+			w.hiddenViews[recv] = true
+			return nil, true
+		}
+	}
+
+	// Wake-lock API (§9 no-sleep extension): the world tracks held
+	// counts so the explorer can witness executions that end awake.
+	switch framework.ClassifyWakeLock(h, recv.Class, name) {
+	case framework.WakeNew:
+		return w.alloc(framework.WakeLock), false
+	case framework.WakeAcquire:
+		n, _ := recv.Fields["$wakeHeld"].(int64)
+		recv.Fields["$wakeHeld"] = n + 1
+		w.wakeHeld[recv] = true
+		w.tracef("acquire wakelock %s", recv)
+		return nil, true
+	case framework.WakeRelease:
+		n, _ := recv.Fields["$wakeHeld"].(int64)
+		if n > 0 {
+			recv.Fields["$wakeHeld"] = n - 1
+			if n-1 == 0 {
+				delete(w.wakeHeld, recv)
+			}
+		}
+		w.tracef("release wakelock %s", recv)
+		return nil, true
+	}
+
+	// Value-producing conveniences.
+	switch name {
+	case "findViewById", "setContentView":
+		return w.alloc(framework.View), false
+	case "getSystemService":
+		return w.alloc(framework.LocationManager), false
+	case "obtainMessage":
+		return w.alloc(framework.Message), false
+	case "getIntent":
+		return w.alloc(framework.Intent), false
+	}
+	// Unknown framework or absent app method: no-op.
+	return nil, false
+}
+
+// bindServiceEvents installs the onServiceConnected / onServiceDisconnected
+// pair for a connection: SC fires before SD (the MHB-Service relation).
+func (w *World) bindServiceEvents(e *executor, conn *Object) {
+	var sc *extEvent
+	if m := w.h.Resolve(conn.Class, "onServiceConnected"); m != nil {
+		sc = w.addEvent(&extEvent{
+			name: "svc:" + conn.Class + ".onServiceConnected", component: e.component,
+			m: m, recv: conn, args: lifecycleArgs(m), maxFires: 1, uiLike: true,
+			registrarTask: e.curTask,
+		})
+		sc.owner = conn
+	}
+	if m := w.h.Resolve(conn.Class, "onServiceDisconnected"); m != nil {
+		sd := w.addEvent(&extEvent{
+			name: "svc:" + conn.Class + ".onServiceDisconnected", component: e.component,
+			m: m, recv: conn, args: lifecycleArgs(m), maxFires: 1, uiLike: true,
+			registrarTask: e.curTask,
+		})
+		sd.owner = conn
+		if sc != nil {
+			sd.after = append(sd.after, sc)
+		}
+	}
+	if sc != nil {
+		sc.owner = conn
+	}
+}
+
+// executeAsyncTask wires onPreExecute -> doInBackground -> onPostExecute.
+func (w *World) executeAsyncTask(e *executor, taskObj *Object) {
+	comp := e.component
+	body := w.h.Resolve(taskObj.Class, framework.AsyncTaskBody)
+	post := w.h.Resolve(taskObj.Class, "onPostExecute")
+	startBody := func(w *World) {
+		if body == nil {
+			if post != nil {
+				w.enqueue(&task{name: "task-post:" + taskObj.Class, m: post, recv: taskObj, component: comp})
+			}
+			return
+		}
+		w.spawnBg("task:"+taskObj.Class, body, taskObj, nil, comp, func(w *World) {
+			if post != nil {
+				w.enqueue(&task{name: "task-post:" + taskObj.Class, m: post, recv: taskObj, component: comp})
+			}
+		})
+	}
+	if pre := w.h.Resolve(taskObj.Class, "onPreExecute"); pre != nil {
+		w.enqueue(&task{name: "task-pre:" + taskObj.Class, m: pre, recv: taskObj, component: comp, onDone: startBody})
+	} else {
+		startBody(w)
+	}
+}
+
+// removeEventsFor disables all events whose receiver object is obj.
+func (w *World) removeEventsFor(obj *Object) {
+	for _, ev := range w.events {
+		if ev.recv == obj || ev.owner == obj {
+			ev.removed = true
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package ir
+
+import "strings"
+
+// SplitRef splits a canonical "Class.Name" member reference. Class names
+// use '/' separators (java/lang/Object), so the final '.' separates the
+// member name unambiguously.
+func SplitRef(ref string) (class, name string, ok bool) {
+	i := strings.LastIndexByte(ref, '.')
+	if i <= 0 || i == len(ref)-1 {
+		return "", "", false
+	}
+	return ref[:i], ref[i+1:], true
+}
+
+// ShortName returns the class base name without package qualifiers:
+// "com/app/MainActivity" -> "MainActivity".
+func ShortName(class string) string {
+	if i := strings.LastIndexByte(class, '/'); i >= 0 {
+		return class[i+1:]
+	}
+	return class
+}

@@ -1,0 +1,234 @@
+package lockset
+
+import (
+	"strings"
+	"testing"
+
+	"nadroid/internal/apk"
+	"nadroid/internal/appbuilder"
+	"nadroid/internal/framework"
+	"nadroid/internal/ir"
+	"nadroid/internal/threadify"
+)
+
+// build makes an app where two threads access a field under a shared
+// lock, plus an unlocked accessor and a synchronized method.
+func build(t *testing.T) (*apk.Package, *threadify.Model) {
+	t.Helper()
+	b := appbuilder.New("ls")
+	act := b.Activity("ls/A")
+	act.Field("lock", "ls/V")
+	act.Field("f", "ls/V")
+	b.Class("ls/V", framework.Object).Method("use", 0).Return()
+
+	mkThread := func(name string, locked bool) {
+		th := b.ThreadClass(name)
+		th.Field("outer", "ls/A")
+		run := th.Method("run", 0)
+		o := run.GetThis("outer")
+		if locked {
+			lk := run.GetField(o, "ls/A", "lock")
+			run.Lock(lk)
+			run.GetField(o, "ls/A", "f")
+			run.Unlock(lk)
+		} else {
+			run.GetField(o, "ls/A", "f")
+		}
+		run.Return()
+	}
+	mkThread("ls/Locked1", true)
+	mkThread("ls/Locked2", true)
+	mkThread("ls/Unlocked", false)
+
+	sync := b.Class("ls/S", framework.Thread)
+	sync.Field("outer", "ls/A")
+	sm := sync.SyncMethod("run", 0)
+	o := sm.GetThis("outer")
+	sm.GetField(o, "ls/A", "f")
+	sm.Return()
+
+	oc := act.Method("onCreate", 1)
+	lv := oc.New("ls/V")
+	oc.PutThis("lock", lv)
+	fv := oc.New("ls/V")
+	oc.PutThis("f", fv)
+	for _, cls := range []string{"ls/Locked1", "ls/Locked2", "ls/Unlocked", "ls/S"} {
+		tv := oc.New(cls)
+		oc.PutField(tv, cls, "outer", oc.This())
+		oc.InvokeVoid(tv, cls, "start")
+	}
+	oc.Return()
+	pkg, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := threadify.Build(pkg, threadify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg, m
+}
+
+// accessSite finds the (mctx, index) of the getfield of `f` inside the
+// named class's run method.
+func accessSite(t *testing.T, m *threadify.Model, cls string) (threadify.MCtx, int) {
+	t.Helper()
+	for _, th := range m.Threads {
+		if th.Kind == threadify.KindDummyMain || !strings.HasPrefix(th.Entry.Method, cls+".") {
+			continue
+		}
+		mth, err := m.H.MethodByRef(th.Entry.Method)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, in := range mth.Instrs {
+			if in.Op == ir.OpGetField && in.Field.Name == "f" {
+				return th.Entry, i
+			}
+		}
+	}
+	t.Fatalf("no access site in %s", cls)
+	return threadify.MCtx{}, 0
+}
+
+func TestLockedAccessHoldsLock(t *testing.T) {
+	_, m := build(t)
+	r := Analyze(m)
+	mc, idx := accessSite(t, m, "ls/Locked1")
+	if got := r.HeldAt(mc, idx); len(got) != 1 {
+		t.Errorf("locked access holds %v, want exactly one lock", got)
+	}
+}
+
+func TestUnlockedAccessHoldsNothing(t *testing.T) {
+	_, m := build(t)
+	r := Analyze(m)
+	mc, idx := accessSite(t, m, "ls/Unlocked")
+	if got := r.HeldAt(mc, idx); len(got) != 0 {
+		t.Errorf("unlocked access holds %v, want none", got)
+	}
+}
+
+func TestCommonLockAcrossThreads(t *testing.T) {
+	_, m := build(t)
+	r := Analyze(m)
+	a, ai := accessSite(t, m, "ls/Locked1")
+	b, bi := accessSite(t, m, "ls/Locked2")
+	if !r.CommonLock(a, ai, b, bi) {
+		t.Error("both threads lock the same object; CommonLock must hold")
+	}
+	c, ci := accessSite(t, m, "ls/Unlocked")
+	if r.CommonLock(a, ai, c, ci) {
+		t.Error("no common lock with the unlocked access")
+	}
+}
+
+func TestSynchronizedMethodHoldsReceiverLock(t *testing.T) {
+	_, m := build(t)
+	r := Analyze(m)
+	mc, idx := accessSite(t, m, "ls/S")
+	if got := r.HeldAt(mc, idx); len(got) != 1 {
+		t.Errorf("synchronized run holds %v, want the receiver lock", got)
+	}
+}
+
+// A lock released before the access is no longer held (must-analysis).
+func TestReleasedLockNotHeld(t *testing.T) {
+	b := appbuilder.New("ls2")
+	act := b.Activity("l2/A")
+	act.Field("lock", "l2/V")
+	act.Field("f", "l2/V")
+	b.Class("l2/V", framework.Object)
+	th := b.ThreadClass("l2/T")
+	th.Field("outer", "l2/A")
+	run := th.Method("run", 0)
+	o := run.GetThis("outer")
+	lk := run.GetField(o, "l2/A", "lock")
+	run.Lock(lk)
+	run.Unlock(lk)
+	run.GetField(o, "l2/A", "f") // after release
+	run.Return()
+	oc := act.Method("onCreate", 1)
+	lv := oc.New("l2/V")
+	oc.PutThis("lock", lv)
+	tv := oc.New("l2/T")
+	oc.PutField(tv, "l2/T", "outer", oc.This())
+	oc.InvokeVoid(tv, "l2/T", "start")
+	oc.Return()
+	pkg, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := threadify.Build(pkg, threadify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Analyze(m)
+	mc, idx := accessSite(t, m, "l2/T")
+	if got := r.HeldAt(mc, idx); len(got) != 0 {
+		t.Errorf("released lock still reported: %v", got)
+	}
+}
+
+// Locks flow into callees: an access inside a helper called from a
+// monitor region is protected.
+func TestInterproceduralLockPropagation(t *testing.T) {
+	b := appbuilder.New("ls3")
+	act := b.Activity("l3/A")
+	act.Field("lock", "l3/V")
+	act.Field("f", "l3/V")
+	b.Class("l3/V", framework.Object)
+	th := b.ThreadClass("l3/T")
+	th.Field("outer", "l3/A")
+	helper := th.Method("helper", 0)
+	ho := helper.GetThis("outer")
+	helper.GetField(ho, "l3/A", "f")
+	helper.Return()
+	run := th.Method("run", 0)
+	o := run.GetThis("outer")
+	lk := run.GetField(o, "l3/A", "lock")
+	run.Lock(lk)
+	run.InvokeThis("helper")
+	run.Unlock(lk)
+	run.Return()
+	oc := act.Method("onCreate", 1)
+	lv := oc.New("l3/V")
+	oc.PutThis("lock", lv)
+	tv := oc.New("l3/T")
+	oc.PutField(tv, "l3/T", "outer", oc.This())
+	oc.InvokeVoid(tv, "l3/T", "start")
+	oc.Return()
+	pkg, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := threadify.Build(pkg, threadify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Analyze(m)
+	// Find the helper's access site.
+	mth, err := m.H.MethodByRef("l3/T.helper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := -1
+	for i, in := range mth.Instrs {
+		if in.Op == ir.OpGetField && in.Field.Name == "f" {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		t.Fatal("no access in helper")
+	}
+	// The helper runs under the thread's context (its receiver object).
+	var mc threadify.MCtx
+	for _, th := range m.Threads {
+		if strings.HasPrefix(th.Entry.Method, "l3/T.") {
+			mc = threadify.MCtx{Method: "l3/T.helper", Recv: th.Entry.Recv}
+		}
+	}
+	if got := r.HeldAt(mc, idx); len(got) != 1 {
+		t.Errorf("callee access holds %v, want the caller's lock", got)
+	}
+}

@@ -1,0 +1,117 @@
+// Package manifest models the AndroidManifest information nAdroid needs:
+// the declared components, their kinds, and whether they are reachable
+// via an explicit or implicit intent. Unreachable components are one of
+// the paper's false-positive sources (§8.5 "Not Reachable") — their
+// callbacks are still analyzed (the paper's tool finds such warnings and
+// classifies them as FPs afterwards), so reachability is recorded here
+// rather than enforced.
+package manifest
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ComponentKind enumerates Android component kinds.
+type ComponentKind int
+
+const (
+	ActivityComponent ComponentKind = iota
+	ServiceComponent
+	ReceiverComponent
+)
+
+var kindNames = [...]string{"activity", "service", "receiver"}
+
+func (k ComponentKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Component is one declared component.
+type Component struct {
+	Kind  ComponentKind
+	Class string // implementing class
+	// Main marks the launcher activity.
+	Main bool
+	// Reachable is false for components no intent can reach.
+	Reachable bool
+}
+
+// Manifest is the parsed manifest of one application.
+type Manifest struct {
+	Package    string
+	components []*Component
+	byClass    map[string]*Component
+}
+
+// New returns an empty manifest for the given package name.
+func New(pkg string) *Manifest {
+	return &Manifest{Package: pkg, byClass: make(map[string]*Component)}
+}
+
+// Add declares a component. Duplicate classes panic: a class backs at
+// most one component.
+func (m *Manifest) Add(c *Component) {
+	if _, dup := m.byClass[c.Class]; dup {
+		panic("manifest: duplicate component " + c.Class)
+	}
+	m.components = append(m.components, c)
+	m.byClass[c.Class] = c
+}
+
+// Components returns all components in declaration order.
+func (m *Manifest) Components() []*Component { return m.components }
+
+// Component returns the component backed by class, or nil.
+func (m *Manifest) Component(class string) *Component { return m.byClass[class] }
+
+// Activities returns activity components in declaration order.
+func (m *Manifest) Activities() []*Component { return m.ofKind(ActivityComponent) }
+
+// Services returns service components.
+func (m *Manifest) Services() []*Component { return m.ofKind(ServiceComponent) }
+
+// Receivers returns receiver components.
+func (m *Manifest) Receivers() []*Component { return m.ofKind(ReceiverComponent) }
+
+func (m *Manifest) ofKind(k ComponentKind) []*Component {
+	var out []*Component
+	for _, c := range m.components {
+		if c.Kind == k {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// MainActivity returns the launcher activity, or the first declared
+// activity when none is marked Main, or nil for app with no activities.
+func (m *Manifest) MainActivity() *Component {
+	var first *Component
+	for _, c := range m.components {
+		if c.Kind != ActivityComponent {
+			continue
+		}
+		if c.Main {
+			return c
+		}
+		if first == nil {
+			first = c
+		}
+	}
+	return first
+}
+
+// SortedClasses returns component class names sorted for deterministic
+// iteration.
+func (m *Manifest) SortedClasses() []string {
+	out := make([]string, 0, len(m.components))
+	for _, c := range m.components {
+		out = append(out, c.Class)
+	}
+	sort.Strings(out)
+	return out
+}

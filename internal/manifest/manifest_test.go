@@ -1,0 +1,78 @@
+package manifest
+
+import "testing"
+
+func TestComponentAccessors(t *testing.T) {
+	m := New("demo")
+	m.Add(&Component{Kind: ActivityComponent, Class: "a/Main", Main: true, Reachable: true})
+	m.Add(&Component{Kind: ActivityComponent, Class: "a/Other", Reachable: true})
+	m.Add(&Component{Kind: ServiceComponent, Class: "a/Svc", Reachable: true})
+	m.Add(&Component{Kind: ReceiverComponent, Class: "a/Rcv", Reachable: false})
+
+	if got := len(m.Components()); got != 4 {
+		t.Fatalf("components = %d", got)
+	}
+	if got := len(m.Activities()); got != 2 {
+		t.Errorf("activities = %d", got)
+	}
+	if got := len(m.Services()); got != 1 {
+		t.Errorf("services = %d", got)
+	}
+	if got := len(m.Receivers()); got != 1 {
+		t.Errorf("receivers = %d", got)
+	}
+	if c := m.Component("a/Svc"); c == nil || c.Kind != ServiceComponent {
+		t.Error("Component lookup failed")
+	}
+	if m.Component("a/Missing") != nil {
+		t.Error("missing components are nil")
+	}
+}
+
+func TestMainActivitySelection(t *testing.T) {
+	m := New("demo")
+	m.Add(&Component{Kind: ActivityComponent, Class: "a/First", Reachable: true})
+	m.Add(&Component{Kind: ActivityComponent, Class: "a/Marked", Main: true, Reachable: true})
+	if got := m.MainActivity(); got == nil || got.Class != "a/Marked" {
+		t.Errorf("MainActivity = %v, want the marked one", got)
+	}
+
+	m2 := New("demo2")
+	m2.Add(&Component{Kind: ServiceComponent, Class: "a/Svc"})
+	m2.Add(&Component{Kind: ActivityComponent, Class: "a/Only"})
+	if got := m2.MainActivity(); got == nil || got.Class != "a/Only" {
+		t.Errorf("fallback MainActivity = %v", got)
+	}
+
+	m3 := New("demo3")
+	if m3.MainActivity() != nil {
+		t.Error("no activities -> nil")
+	}
+}
+
+func TestDuplicateComponentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate component")
+		}
+	}()
+	m := New("demo")
+	m.Add(&Component{Kind: ActivityComponent, Class: "a/X"})
+	m.Add(&Component{Kind: ServiceComponent, Class: "a/X"})
+}
+
+func TestSortedClasses(t *testing.T) {
+	m := New("demo")
+	m.Add(&Component{Kind: ActivityComponent, Class: "z/Z"})
+	m.Add(&Component{Kind: ActivityComponent, Class: "a/A"})
+	got := m.SortedClasses()
+	if len(got) != 2 || got[0] != "a/A" || got[1] != "z/Z" {
+		t.Errorf("SortedClasses = %v", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if ActivityComponent.String() != "activity" || ServiceComponent.String() != "service" || ReceiverComponent.String() != "receiver" {
+		t.Error("kind names wrong")
+	}
+}

@@ -1,0 +1,207 @@
+package nosleep
+
+import (
+	"strings"
+	"testing"
+
+	"nadroid/internal/apk"
+	"nadroid/internal/appbuilder"
+	"nadroid/internal/explore"
+	"nadroid/internal/framework"
+	"nadroid/internal/threadify"
+)
+
+// wakeApp builds an activity holding a wake lock, with configurable
+// release placement.
+type wakeApp struct {
+	b   *appbuilder.Builder
+	act *appbuilder.ClassBuilder
+}
+
+func newWakeApp() *wakeApp {
+	b := appbuilder.New("ns")
+	act := b.Activity("ns/A")
+	act.Field("wl", framework.WakeLock)
+	oc := act.Method("onCreate", 1)
+	pm := oc.New(framework.PowerManager)
+	wl := oc.Invoke(pm, framework.PowerManager, "newWakeLock")
+	oc.PutThis("wl", wl)
+	oc.Return()
+	return &wakeApp{b: b, act: act}
+}
+
+func (wa *wakeApp) method(name string, body func(mb *appbuilder.MethodBuilder, wl int)) {
+	mb := wa.act.Method(name, 0)
+	wl := mb.GetThis("wl")
+	body(mb, wl)
+	mb.Return()
+}
+
+func (wa *wakeApp) detect(t *testing.T) (*apk.Package, *Result) {
+	t.Helper()
+	pkg, err := wa.b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := threadify.Build(pkg, threadify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg, Detect(m)
+}
+
+// Acquire in onResume with release in onPause only: the back-button
+// cycle means onPause is NOT guaranteed after onResume statically —
+// but more importantly a release in onDestroy covers everything.
+func TestAcquireWithoutAnyRelease(t *testing.T) {
+	wa := newWakeApp()
+	wa.method("onResume", func(mb *appbuilder.MethodBuilder, wl int) {
+		mb.InvokeVoid(wl, framework.WakeLock, "acquire")
+	})
+	pkg, res := wa.detect(t)
+	if len(res.Warnings) != 1 {
+		t.Fatalf("warnings = %d, want 1", len(res.Warnings))
+	}
+	if !strings.Contains(res.Warnings[0].Lineage, "onResume") {
+		t.Errorf("lineage = %q", res.Warnings[0].Lineage)
+	}
+	// Dynamic witness: some complete execution ends awake.
+	if _, ok := explore.FindNoSleep(pkg, explore.Options{MaxSchedules: 500}); !ok {
+		t.Error("explorer must find an execution ending with the lock held")
+	}
+}
+
+// A release later in the same callback covers the acquire.
+func TestIntraCallbackReleaseCovers(t *testing.T) {
+	wa := newWakeApp()
+	wa.method("onResume", func(mb *appbuilder.MethodBuilder, wl int) {
+		mb.InvokeVoid(wl, framework.WakeLock, "acquire")
+		mb.InvokeVoid(wl, framework.WakeLock, "release")
+	})
+	pkg, res := wa.detect(t)
+	if len(res.Warnings) != 0 {
+		t.Fatalf("covered acquire reported: %v", res.Warnings)
+	}
+	if wit, ok := explore.FindNoSleep(pkg, explore.Options{MaxSchedules: 500}); ok {
+		t.Errorf("no execution should end awake, got %v", wit)
+	}
+}
+
+// A release on only one branch does not cover (the classic no-sleep
+// bug shape from Pathak et al.: the error path forgets the release).
+func TestBranchWithoutReleaseUncovered(t *testing.T) {
+	wa := newWakeApp()
+	wa.method("onResume", func(mb *appbuilder.MethodBuilder, wl int) {
+		mb.InvokeVoid(wl, framework.WakeLock, "acquire")
+		mb.IfCond("err")
+		mb.InvokeVoid(wl, framework.WakeLock, "release")
+		mb.Label("err")
+	})
+	_, res := wa.detect(t)
+	if len(res.Warnings) != 1 {
+		t.Fatalf("branchy release must not cover: %v", res.Warnings)
+	}
+	if len(res.Warnings[0].PartialReleases) == 0 {
+		t.Error("the partial release should be listed as a hint")
+	}
+}
+
+// A release in onDestroy covers acquires in entry callbacks: every EC
+// must-happens-before onDestroy (MHB-Lifecycle).
+func TestDestroyReleaseCoversViaMHB(t *testing.T) {
+	wa := newWakeApp()
+	wa.method("onResume", func(mb *appbuilder.MethodBuilder, wl int) {
+		mb.InvokeVoid(wl, framework.WakeLock, "acquire")
+	})
+	wa.method("onDestroy", func(mb *appbuilder.MethodBuilder, wl int) {
+		mb.InvokeVoid(wl, framework.WakeLock, "release")
+	})
+	_, res := wa.detect(t)
+	if len(res.Warnings) != 0 {
+		t.Fatalf("onDestroy release must cover EC acquires via MHB: %v", res.Warnings)
+	}
+}
+
+// A release in a *sibling* callback with no HB order does not cover:
+// onPause may never run again after the last onResume.
+func TestSiblingCallbackReleaseDoesNotCover(t *testing.T) {
+	wa := newWakeApp()
+	wa.method("onResume", func(mb *appbuilder.MethodBuilder, wl int) {
+		mb.InvokeVoid(wl, framework.WakeLock, "acquire")
+	})
+	wa.method("onPause", func(mb *appbuilder.MethodBuilder, wl int) {
+		mb.InvokeVoid(wl, framework.WakeLock, "release")
+	})
+	pkg, res := wa.detect(t)
+	if len(res.Warnings) != 1 {
+		t.Fatalf("sibling release must not cover: %v", res.Warnings)
+	}
+	// And the explorer can demonstrate it: resume (acquire) then the
+	// world quiesces without another pause.
+	if _, ok := explore.FindNoSleep(pkg, explore.Options{MaxSchedules: 1000}); !ok {
+		t.Error("explorer must find an awake-at-exit schedule")
+	}
+}
+
+// A background thread releasing the lock does not cover either (no HB),
+// and the site inventory sees through the thread boundary.
+func TestThreadReleaseCollected(t *testing.T) {
+	wa := newWakeApp()
+	th := wa.b.ThreadClass("ns/W")
+	th.Field("outer", "ns/A")
+	run := th.Method("run", 0)
+	o := run.GetThis("outer")
+	wl := run.GetField(o, "ns/A", "wl")
+	run.InvokeVoid(wl, framework.WakeLock, "release")
+	run.Return()
+	wa.method("onResume", func(mb *appbuilder.MethodBuilder, wl int) {
+		mb.InvokeVoid(wl, framework.WakeLock, "acquire")
+		t2 := mb.New("ns/W")
+		mb.PutField(t2, "ns/W", "outer", mb.This())
+		// NB: mb.This() here is the listener... onResume's this IS the
+		// activity, so the outer wiring is direct.
+		mb.InvokeVoid(t2, "ns/W", "start")
+	})
+	_, res := wa.detect(t)
+	if len(res.Releases) != 1 {
+		t.Fatalf("releases = %d, want the thread's", len(res.Releases))
+	}
+	if len(res.Warnings) != 1 {
+		t.Fatalf("thread release must not statically cover: %v", res.Warnings)
+	}
+}
+
+// Two independent locks do not cover each other.
+func TestDistinctLocksDoNotAlias(t *testing.T) {
+	b := appbuilder.New("ns2")
+	act := b.Activity("n2/A")
+	act.Field("wl1", framework.WakeLock)
+	act.Field("wl2", framework.WakeLock)
+	oc := act.Method("onCreate", 1)
+	pm := oc.New(framework.PowerManager)
+	w1 := oc.Invoke(pm, framework.PowerManager, "newWakeLock")
+	oc.PutThis("wl1", w1)
+	w2 := oc.Invoke(pm, framework.PowerManager, "newWakeLock")
+	oc.PutThis("wl2", w2)
+	oc.Return()
+	orr := act.Method("onResume", 0)
+	l1 := orr.GetThis("wl1")
+	orr.InvokeVoid(l1, framework.WakeLock, "acquire")
+	orr.Return()
+	od := act.Method("onDestroy", 0)
+	l2 := od.GetThis("wl2")
+	od.InvokeVoid(l2, framework.WakeLock, "release")
+	od.Return()
+	pkg, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := threadify.Build(pkg, threadify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Detect(m)
+	if len(res.Warnings) != 1 {
+		t.Fatalf("releasing a different lock must not cover: %v", res.Warnings)
+	}
+}

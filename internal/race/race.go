@@ -1,0 +1,254 @@
+// Package race implements Chord-style static data-race detection over
+// the threadified program (§5): it enumerates field accesses per modeled
+// thread, and reports racy pairs — two accesses to the same field of an
+// aliased, thread-escaping object from different modeled threads, at
+// least one of which is a write.
+//
+// Per the paper, the detector deliberately ignores lockset analysis
+// (locks do not prevent ordering violations) and MHP analysis (replaced
+// by the happens-before filters of §6); both are computed elsewhere and
+// applied selectively by the filters.
+package race
+
+import (
+	"fmt"
+	"sort"
+
+	"nadroid/internal/datalog"
+	"nadroid/internal/escape"
+	"nadroid/internal/ir"
+	"nadroid/internal/pointsto"
+	"nadroid/internal/threadify"
+)
+
+// AccessKind distinguishes reads, writes and null writes.
+type AccessKind int
+
+const (
+	// Read is a getfield/getstatic — the paper's "use".
+	Read AccessKind = iota
+	// Write is a putfield/putstatic of a non-null (or unknown) value.
+	Write
+	// NullWrite is a putfield/putstatic of a definitely-null value — the
+	// paper's "free".
+	NullWrite
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case NullWrite:
+		return "free"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Access is one field access executed by one modeled thread.
+type Access struct {
+	ID     int
+	Thread int
+	MCtx   threadify.MCtx
+	Instr  ir.InstrID
+	Index  int // instruction index within the method
+	Field  ir.FieldRef
+	Kind   AccessKind
+	Static bool
+	// Objs are the abstract receiver objects (empty for statics).
+	Objs []pointsto.ObjID
+}
+
+// Pair is one racy pair of access IDs (by convention A is the read/use
+// when one side is a read).
+type Pair struct {
+	A, B int
+}
+
+// Result bundles the accesses and racy pairs of one detection run.
+type Result struct {
+	Accesses []Access
+	Pairs    []Pair
+	Escape   *escape.Result
+}
+
+// Options tunes detection.
+type Options struct {
+	// RequireEscape drops pairs on objects reachable from a single
+	// thread (Chord's thread-escape pruning). Defaults to true via
+	// Detect; set SkipEscape to disable for ablation.
+	SkipEscape bool
+	// UseFreeOnly keeps only (read, null-write) pairs — nAdroid's UAF
+	// restriction (§5). When false the detector reports every
+	// read-write/write-write race, like stock Chord.
+	UseFreeOnly bool
+}
+
+// CollectAccesses enumerates the field accesses of every modeled thread.
+// The same instruction yields one access per (thread, context) executing
+// it.
+func CollectAccesses(m *threadify.Model) []Access {
+	var out []Access
+	for _, th := range m.Threads {
+		if th.Kind == threadify.KindDummyMain {
+			continue
+		}
+		mcs := make([]threadify.MCtx, 0, len(m.Reach(th.ID)))
+		for mc := range m.Reach(th.ID) {
+			mcs = append(mcs, mc)
+		}
+		sort.Slice(mcs, func(i, j int) bool {
+			if mcs[i].Method != mcs[j].Method {
+				return mcs[i].Method < mcs[j].Method
+			}
+			return mcs[i].Recv < mcs[j].Recv
+		})
+		for _, mc := range mcs {
+			mth, err := m.H.MethodByRef(mc.Method)
+			if err != nil || mth.Abstract {
+				continue
+			}
+			oi := ir.ComputeOrigins(mth)
+			for i, in := range mth.Instrs {
+				var acc *Access
+				switch in.Op {
+				case ir.OpGetField:
+					acc = &Access{
+						Kind:  Read,
+						Field: canonicalField(m, in.Field),
+						Objs:  m.PTS.PointsTo(mc.Method, mc.Recv, in.B),
+					}
+				case ir.OpPutField:
+					kind := Write
+					if ir.IsFree(oi, mth, i) {
+						kind = NullWrite
+					}
+					acc = &Access{
+						Kind:  kind,
+						Field: canonicalField(m, in.Field),
+						Objs:  m.PTS.PointsTo(mc.Method, mc.Recv, in.B),
+					}
+				case ir.OpGetStatic:
+					acc = &Access{Kind: Read, Field: in.Field, Static: true}
+				case ir.OpPutStatic:
+					kind := Write
+					if ir.IsFree(oi, mth, i) {
+						kind = NullWrite
+					}
+					acc = &Access{Kind: kind, Field: in.Field, Static: true}
+				}
+				if acc == nil {
+					continue
+				}
+				acc.ID = len(out)
+				acc.Thread = th.ID
+				acc.MCtx = mc
+				acc.Instr = ir.InstrID{Method: mc.Method, Index: i}
+				acc.Index = i
+				out = append(out, *acc)
+			}
+		}
+	}
+	return out
+}
+
+// canonicalField resolves a field reference to its declaring class so
+// accesses through subclasses unify.
+func canonicalField(m *threadify.Model, ref ir.FieldRef) ir.FieldRef {
+	if f := m.H.DeclaringClassOfField(ref); f != nil {
+		return ir.FieldRef{Class: f.Class, Name: f.Name}
+	}
+	return ref
+}
+
+// Detect runs the full pipeline: collect accesses, escape analysis, and
+// the Datalog race derivation.
+func Detect(m *threadify.Model, opts Options) *Result {
+	accesses := CollectAccesses(m)
+	esc := escape.Analyze(m)
+	pairs := DetectPairs(m, accesses, esc, opts)
+	return &Result{Accesses: accesses, Pairs: pairs, Escape: esc}
+}
+
+// DetectPairs derives racy pairs with a Datalog program, mirroring how
+// Chord expresses its race detector:
+//
+//	Racy(a, b) :- RdAcc(a, t1, f, h), WrAcc(b, t2, f, h), t1 != t2, Esc(h)
+//	Racy(a, b) :- WrAcc(a, t1, f, h), WrAcc(b, t2, f, h), t1 != t2, Esc(h)
+func DetectPairs(m *threadify.Model, accesses []Access, esc *escape.Result, opts Options) []Pair {
+	e := datalog.NewEngine()
+	accSym := func(id int) datalog.Sym { return e.Sym(fmt.Sprintf("a%d", id)) }
+	thrSym := func(t int) datalog.Sym { return e.Sym(fmt.Sprintf("t%d", t)) }
+	objSym := func(o pointsto.ObjID) datalog.Sym { return e.Sym(fmt.Sprintf("h%d", int(o))) }
+	staticObj := e.Sym("h:static")
+
+	// Make sure relations exist even when a side contributes no facts.
+	e.Relation("RdAcc", 4)
+	e.Relation("WrAcc", 4)
+	e.Relation("Esc", 1)
+
+	for _, a := range accesses {
+		fieldSym := e.Sym("f:" + a.Field.String())
+		rel := "WrAcc"
+		if a.Kind == Read {
+			rel = "RdAcc"
+		}
+		if opts.UseFreeOnly {
+			// Only uses and frees participate.
+			if a.Kind == Write {
+				continue
+			}
+		}
+		if a.Static {
+			e.Fact(rel, accSym(a.ID), thrSym(a.Thread), fieldSym, staticObj)
+			continue
+		}
+		for _, o := range a.Objs {
+			e.Fact(rel, accSym(a.ID), thrSym(a.Thread), fieldSym, objSym(o))
+		}
+	}
+	// Escape facts; statics always escape.
+	e.Fact("Esc", staticObj)
+	seenObj := make(map[pointsto.ObjID]bool)
+	for _, a := range accesses {
+		for _, o := range a.Objs {
+			if seenObj[o] {
+				continue
+			}
+			seenObj[o] = true
+			if opts.SkipEscape || esc.Escaped(o) {
+				e.Fact("Esc", objSym(o))
+			}
+		}
+	}
+
+	e.MustRule("Racy(a, b) :- RdAcc(a, t1, f, h), WrAcc(b, t2, f, h), t1 != t2, Esc(h)")
+	if !opts.UseFreeOnly {
+		e.MustRule("Racy(a, b) :- WrAcc(a, t1, f, h), WrAcc(b, t2, f, h), t1 != t2, Esc(h)")
+	}
+	e.Run()
+
+	var pairs []Pair
+	for _, row := range e.Query("Racy", datalog.Wild, datalog.Wild) {
+		var a, b int
+		fmt.Sscanf(e.SymName(row[0]), "a%d", &a)
+		fmt.Sscanf(e.SymName(row[1]), "a%d", &b)
+		if !opts.UseFreeOnly && a > b && sameKindPair(accesses, a, b) {
+			// Write-write pairs arrive in both orders; keep one.
+			continue
+		}
+		pairs = append(pairs, Pair{A: a, B: b})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+	return pairs
+}
+
+func sameKindPair(accesses []Access, a, b int) bool {
+	return accesses[a].Kind != Read && accesses[b].Kind != Read
+}

@@ -1,0 +1,172 @@
+// Package report classifies surviving UAF warnings the way §7
+// prescribes: by the origins of the use and free operations (EC-EC,
+// EC-PC, PC-PC, C-RT, C-NT), with the callback/thread lineage attached
+// so a programmer can reconstruct the event sequence behind each
+// warning. It also renders the CSV the artifact's ResultAnalysis.csv
+// contains.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nadroid/internal/threadify"
+	"nadroid/internal/uaf"
+)
+
+// Category is the §7 warning taxonomy.
+type Category int
+
+const (
+	// ECEC: both sides are entry callbacks.
+	ECEC Category = iota
+	// ECPC: an entry callback against a posted callback.
+	ECPC
+	// PCPC: both sides posted callbacks.
+	PCPC
+	// CRT: a callback against a thread reachable from it.
+	CRT
+	// CNT: a callback against a non-reachable thread — the paper's
+	// hypothesis holds these are likeliest harmful.
+	CNT
+	// TT: both sides native threads (normally pruned by the TT filter).
+	TT
+)
+
+var categoryNames = [...]string{"EC-EC", "EC-PC", "PC-PC", "C-RT", "C-NT", "T-T"}
+
+func (c Category) String() string {
+	if int(c) < len(categoryNames) {
+		return categoryNames[c]
+	}
+	return fmt.Sprintf("cat(%d)", int(c))
+}
+
+// Categories lists all categories in display order.
+func Categories() []Category { return []Category{ECEC, ECPC, PCPC, CRT, CNT, TT} }
+
+// Classify buckets one thread pair.
+//
+// Thread reachability is transitive across thread creation and event
+// posting (§7): a thread is Reachable (RT) relative to a callback when
+// the callback is one of its ancestors in the spawn forest.
+func Classify(m *threadify.Model, p uaf.ThreadPair) Category {
+	tu, tf := m.Threads[p.Use], m.Threads[p.Free]
+	isCallback := func(t *threadify.Thread) bool {
+		return t.Kind == threadify.KindEntryCallback || t.Kind == threadify.KindPostedCallback
+	}
+	isThread := func(t *threadify.Thread) bool {
+		return t.Kind == threadify.KindTaskBody || t.Kind == threadify.KindNativeThread
+	}
+	switch {
+	case isCallback(tu) && isCallback(tf):
+		ec := func(t *threadify.Thread) bool { return t.Kind == threadify.KindEntryCallback }
+		switch {
+		case ec(tu) && ec(tf):
+			return ECEC
+		case ec(tu) != ec(tf):
+			return ECPC
+		default:
+			return PCPC
+		}
+	case isThread(tu) && isThread(tf):
+		return TT
+	default:
+		cb, th := tu, tf
+		if isThread(tu) {
+			cb, th = tf, tu
+		}
+		if m.IsAncestor(cb.ID, th.ID) {
+			return CRT
+		}
+		return CNT
+	}
+}
+
+// ClassifyWarning returns the most-suspicious category across the
+// warning's surviving pairs (CNT > CRT > PCPC > ECPC > ECEC > TT as the
+// paper's harm hypotheses rank them).
+func ClassifyWarning(m *threadify.Model, w *uaf.Warning) Category {
+	rank := map[Category]int{CNT: 5, CRT: 4, PCPC: 3, ECPC: 2, ECEC: 1, TT: 0}
+	best := TT
+	bestRank := -1
+	for _, p := range w.Pairs {
+		c := Classify(m, p)
+		if rank[c] > bestRank {
+			bestRank = rank[c]
+			best = c
+		}
+	}
+	return best
+}
+
+// Entry is one rendered warning.
+type Entry struct {
+	Warning  *uaf.Warning
+	Category Category
+	// UseLineage / FreeLineage are the §7 callback-and-thread sequences.
+	UseLineage, FreeLineage string
+}
+
+// Report is the rendered output for one application.
+type Report struct {
+	App     string
+	Model   *threadify.Model
+	Entries []Entry
+	// ByCategory counts surviving warnings per category.
+	ByCategory map[Category]int
+}
+
+// New renders the surviving warnings of a detection.
+func New(app string, d *uaf.Detection) *Report {
+	r := &Report{App: app, Model: d.Model, ByCategory: make(map[Category]int)}
+	for _, w := range d.Alive() {
+		cat := ClassifyWarning(d.Model, w)
+		r.ByCategory[cat]++
+		e := Entry{Warning: w, Category: cat}
+		if len(w.Pairs) > 0 {
+			e.UseLineage = d.Model.Lineage(w.Pairs[0].Use)
+			e.FreeLineage = d.Model.Lineage(w.Pairs[0].Free)
+		}
+		r.Entries = append(r.Entries, e)
+	}
+	// Most suspicious first: the unsound filters double as ranking, and
+	// within survivors the category hypothesis orders review effort.
+	rank := map[Category]int{CNT: 5, CRT: 4, PCPC: 3, ECPC: 2, ECEC: 1, TT: 0}
+	sort.SliceStable(r.Entries, func(i, j int) bool {
+		if rank[r.Entries[i].Category] != rank[r.Entries[j].Category] {
+			return rank[r.Entries[i].Category] > rank[r.Entries[j].Category]
+		}
+		return r.Entries[i].Warning.Key() < r.Entries[j].Warning.Key()
+	})
+	return r
+}
+
+// String renders a human-readable report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %d potential UAF warning(s) after filtering ==\n", r.App, len(r.Entries))
+	for i, e := range r.Entries {
+		w := e.Warning
+		fmt.Fprintf(&b, "[%d] %s  field %s\n", i+1, e.Category, w.Field)
+		fmt.Fprintf(&b, "    use : %s\n", w.Use)
+		fmt.Fprintf(&b, "          via %s\n", e.UseLineage)
+		fmt.Fprintf(&b, "    free: %s\n", w.Free)
+		fmt.Fprintf(&b, "          via %s\n", e.FreeLineage)
+	}
+	return b.String()
+}
+
+// CSV renders the report as ResultAnalysis.csv rows:
+// app,field,use,free,category,use_lineage,free_lineage.
+func (r *Report) CSV() string {
+	var b strings.Builder
+	b.WriteString("app,field,use,free,category,use_lineage,free_lineage\n")
+	for _, e := range r.Entries {
+		w := e.Warning
+		fmt.Fprintf(&b, "%s,%s,%s,%s,%s,%q,%q\n",
+			r.App, w.Field, w.Use, w.Free, e.Category, e.UseLineage, e.FreeLineage)
+	}
+	return b.String()
+}

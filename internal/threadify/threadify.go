@@ -1,0 +1,575 @@
+// Package threadify implements the paper's core contribution (§4): it
+// statically models every event callback of an Android application as a
+// thread, converting single-threaded ordering violations between
+// callbacks into multi-threaded ordering violations a conventional race
+// detector can find.
+//
+// Entry callbacks (lifecycle, UI-listener, system callbacks — externally
+// invoked by the Android runtime) become children of a dummy main
+// thread. Posted callbacks (Handler posts/messages, service connection
+// callbacks, broadcast receivers, AsyncTask callbacks — internally
+// triggered by the application) become children of the posting callback
+// or thread, preserving the poster/postee causal relation. Native
+// threads (Thread.start, executors, timers, doInBackground) stay
+// threads.
+//
+// The spawn discovery runs inside the points-to solve: a posting API
+// call site resolves its target object exactly like a virtual call, but
+// records a spawn edge instead of a call edge.
+package threadify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nadroid/internal/apk"
+	"nadroid/internal/cha"
+	"nadroid/internal/framework"
+	"nadroid/internal/ir"
+	"nadroid/internal/manifest"
+	"nadroid/internal/pointsto"
+)
+
+// Kind classifies a modeled thread.
+type Kind int
+
+const (
+	// KindDummyMain is the synthetic root: the initial looper thread.
+	KindDummyMain Kind = iota
+	// KindEntryCallback (EC): externally invoked by the Android runtime.
+	KindEntryCallback
+	// KindPostedCallback (PC): internally posted, runs on the looper.
+	KindPostedCallback
+	// KindTaskBody is AsyncTask.doInBackground: a background thread.
+	KindTaskBody
+	// KindNativeThread is a plain thread (Thread.run, executor, timer).
+	KindNativeThread
+)
+
+var kindNames = [...]string{"dummy-main", "EC", "PC", "task-body", "thread"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// MCtx is a method context: an entry method plus the abstract receiver
+// under which it runs.
+type MCtx struct {
+	Method string
+	Recv   pointsto.ObjID
+}
+
+func (m MCtx) String() string { return fmt.Sprintf("%s@%d", m.Method, int(m.Recv)) }
+
+// Thread is one modeled thread.
+type Thread struct {
+	ID   int
+	Kind Kind
+	// Post records the posting API for PCs/threads (PostNone for ECs).
+	Post framework.PostKind
+	// Origin is a short tag: "lifecycle", "ui", "service-lifecycle",
+	// "receiver-manifest", "listener", or the posting API name.
+	Origin string
+	// Entry is the callback/thread body context; zero for the dummy main.
+	Entry MCtx
+	// Parent is the spawning thread's ID (-1 for the dummy main).
+	Parent int
+	// Site is the posting/registration instruction ("" for ECs).
+	Site ir.InstrID
+	// Looper is true when the body runs on the main looper (ECs and PCs)
+	// and false for background threads. Callbacks on the same looper are
+	// atomic with respect to each other.
+	Looper bool
+	// Component is the manifest component class this thread belongs to,
+	// when known (lifecycle ECs and their descendants).
+	Component string
+}
+
+// Name renders a compact human-readable thread name.
+func (t *Thread) Name() string {
+	if t.Kind == KindDummyMain {
+		return "main"
+	}
+	_, name, _ := ir.SplitRef(t.Entry.Method)
+	cls, _, _ := ir.SplitRef(t.Entry.Method)
+	return fmt.Sprintf("%s.%s#%d", ir.ShortName(cls), name, t.ID)
+}
+
+// Model is the threadified program: the thread forest plus the points-to
+// result it was derived from.
+type Model struct {
+	Pkg     *apk.Package
+	H       *cha.Hierarchy
+	PTS     *pointsto.Result
+	Threads []*Thread
+	// reach caches per-thread reachable method contexts.
+	reach map[int]map[MCtx]bool
+	// adj is the call-edge adjacency over method contexts.
+	adj map[MCtx][]MCtx
+	// compObj maps component class -> synthetic receiver object.
+	compObj map[string]pointsto.ObjID
+}
+
+// Options configures modeling.
+type Options struct {
+	// K is the points-to object-sensitivity depth (default 2, as in §5).
+	K int
+	// MaxThreads caps the forest size against pathological post cycles.
+	MaxThreads int
+}
+
+// spawn tags passed through the points-to solver.
+const (
+	tagRunnablePC   = iota + 1 // Handler.post / View.post / runOnUiThread
+	tagHandlerMsg              // sendMessage -> handleMessage
+	tagServiceConn             // bindService -> onServiceConnected/Disconnected
+	tagReceiver                // registerReceiver -> onReceive
+	tagTaskBody                // execute -> doInBackground
+	tagTaskCallback            // execute -> onPreExecute / onPostExecute
+	tagTaskProgress            // publishProgress -> onProgressUpdate
+	tagNative                  // Thread.start / executor / timer
+	tagListener                // setOnXListener / requestLocationUpdates ...
+)
+
+func tagPostKind(tag int) framework.PostKind {
+	switch tag {
+	case tagRunnablePC:
+		return framework.PostRunnable
+	case tagHandlerMsg:
+		return framework.PostSendMessage
+	case tagServiceConn:
+		return framework.PostBindService
+	case tagReceiver:
+		return framework.PostRegisterReceiver
+	case tagTaskBody, tagTaskCallback:
+		return framework.PostExecuteTask
+	case tagTaskProgress:
+		return framework.PostPublishProgress
+	case tagNative:
+		return framework.PostStartThread
+	}
+	return framework.PostNone
+}
+
+// Build threadifies the package: discovers entry callbacks, runs the
+// points-to solve with spawn discovery, and assembles the thread forest.
+func Build(pkg *apk.Package, opts Options) (*Model, error) {
+	if opts.K <= 0 {
+		opts.K = 2
+	}
+	if opts.MaxThreads <= 0 {
+		opts.MaxThreads = 4096
+	}
+	h := cha.New(pkg.Program)
+
+	// Synthetic receiver objects: one instance per manifest component
+	// ("the framework allocates the component"), as in the paper's
+	// single-instance assumption (§8.1).
+	var synths []pointsto.Obj
+	compObj := make(map[string]pointsto.ObjID)
+	for _, comp := range pkg.Manifest.Components() {
+		compObj[comp.Class] = pointsto.ObjID(len(synths))
+		synths = append(synths, pointsto.Obj{
+			Site:  "synthetic:" + comp.Class,
+			Class: comp.Class,
+		})
+	}
+
+	// Entry callbacks: lifecycle methods declared on component classes.
+	type ecSeed struct {
+		mctx      MCtx
+		origin    string
+		component string
+	}
+	var seeds []ecSeed
+	for _, comp := range pkg.Manifest.Components() {
+		names := entryCallbackNames(pkg.Program, comp)
+		for _, n := range names {
+			m := h.Resolve(comp.Class, n.method)
+			if m == nil {
+				continue
+			}
+			seeds = append(seeds, ecSeed{
+				mctx:      MCtx{Method: m.Ref(), Recv: compObj[comp.Class]},
+				origin:    n.origin,
+				component: comp.Class,
+			})
+		}
+	}
+
+	// Points-to solve with spawn discovery.
+	oracle := newOracle(h)
+	var entries []pointsto.Entry
+	for _, s := range seeds {
+		m, err := h.MethodByRef(s.mctx.Method)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, pointsto.Entry{Method: m, Receivers: []pointsto.ObjID{s.mctx.Recv}})
+	}
+	pts := pointsto.SolveWithSynthetics(h, synths, entries, pointsto.Options{
+		K:       opts.K,
+		Spawner: oracle.classify,
+		Factory: oracle.factory,
+	})
+
+	m := &Model{
+		Pkg:     pkg,
+		H:       h,
+		PTS:     pts,
+		reach:   make(map[int]map[MCtx]bool),
+		adj:     buildAdjacency(pts),
+		compObj: compObj,
+	}
+
+	// Thread 0: dummy main.
+	m.Threads = append(m.Threads, &Thread{ID: 0, Kind: KindDummyMain, Parent: -1, Looper: true, Origin: "dummy"})
+
+	// EC threads.
+	for _, s := range seeds {
+		m.Threads = append(m.Threads, &Thread{
+			ID:        len(m.Threads),
+			Kind:      KindEntryCallback,
+			Origin:    s.origin,
+			Entry:     s.mctx,
+			Parent:    0,
+			Looper:    true,
+			Component: s.component,
+		})
+	}
+
+	if err := m.attachSpawnedThreads(opts.MaxThreads); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// namedCallback pairs a callback method name with its origin tag.
+type namedCallback struct {
+	method string
+	origin string
+}
+
+// entryCallbackNames lists the lifecycle callbacks a component class (or
+// its app-defined superclasses) declares.
+func entryCallbackNames(prog *ir.Program, comp *manifest.Component) []namedCallback {
+	var names []namedCallback
+	seen := make(map[string]bool)
+	for cur := comp.Class; cur != ""; {
+		c := prog.Class(cur)
+		if c == nil {
+			break
+		}
+		for _, mth := range c.Methods {
+			if mth.Abstract || seen[mth.Name] {
+				continue
+			}
+			switch comp.Kind {
+			case manifest.ActivityComponent:
+				if framework.IsLifecycleCallback(mth.Name) {
+					seen[mth.Name] = true
+					names = append(names, namedCallback{mth.Name, "lifecycle"})
+				}
+			case manifest.ServiceComponent:
+				if framework.IsServiceLifecycleCallback(mth.Name) {
+					seen[mth.Name] = true
+					names = append(names, namedCallback{mth.Name, "service-lifecycle"})
+				}
+			case manifest.ReceiverComponent:
+				if mth.Name == framework.ReceiverCallback {
+					seen[mth.Name] = true
+					names = append(names, namedCallback{mth.Name, "receiver-manifest"})
+				}
+			}
+		}
+		// Stop at framework classes: their methods are abstract anyway.
+		cur = c.Super
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i].method < names[j].method })
+	return names
+}
+
+// oracle classifies invokes into spawn specs using the class hierarchy.
+type oracle struct {
+	h *cha.Hierarchy
+}
+
+func newOracle(h *cha.Hierarchy) *oracle { return &oracle{h: h} }
+
+// factory models framework calls that return fresh objects as
+// allocations at the call site, so downstream analyses (no-sleep lock
+// identity, view identity) can distinguish the results.
+func (o *oracle) factory(caller *ir.Method, idx int, in ir.Instr) (string, bool) {
+	if in.Op != ir.OpInvoke {
+		return "", false
+	}
+	if framework.ClassifyWakeLock(o.h, in.Callee.Class, in.Callee.Name) == framework.WakeNew {
+		return framework.WakeLock, true
+	}
+	switch in.Callee.Name {
+	case "findViewById":
+		if o.h.IsSubtypeOf(in.Callee.Class, framework.Activity) {
+			return framework.View, true
+		}
+	case "obtainMessage":
+		if o.h.IsSubtypeOf(in.Callee.Class, framework.Handler) {
+			return framework.Message, true
+		}
+	}
+	return "", false
+}
+
+func (o *oracle) classify(caller *ir.Method, idx int, in ir.Instr) []pointsto.SpawnSpec {
+	if in.Op != ir.OpInvoke {
+		return nil
+	}
+	recvClass := in.Callee.Class
+	if argIdx, iface, ok := framework.IsRegistrationCall(o.h, recvClass, in.Callee.Name); ok {
+		return []pointsto.SpawnSpec{{
+			Tag:     tagListener,
+			FromArg: argIdx,
+			Methods: framework.ListenerMethods(iface),
+		}}
+	}
+	switch framework.ClassifyPost(o.h, recvClass, in.Callee.Name) {
+	case framework.PostRunnable:
+		return []pointsto.SpawnSpec{{Tag: tagRunnablePC, FromArg: 0, Methods: []string{framework.RunMethod}}}
+	case framework.PostSendMessage:
+		return []pointsto.SpawnSpec{{Tag: tagHandlerMsg, FromArg: -1, Methods: []string{framework.HandlerCallback}}}
+	case framework.PostBindService:
+		return []pointsto.SpawnSpec{{Tag: tagServiceConn, FromArg: 0, Methods: framework.ServiceConnCallbacks}}
+	case framework.PostRegisterReceiver:
+		return []pointsto.SpawnSpec{{Tag: tagReceiver, FromArg: 0, Methods: []string{framework.ReceiverCallback}}}
+	case framework.PostExecuteTask:
+		return []pointsto.SpawnSpec{
+			{Tag: tagTaskBody, FromArg: -1, Methods: []string{framework.AsyncTaskBody}},
+			{Tag: tagTaskCallback, FromArg: -1, Methods: []string{"onPreExecute", "onPostExecute"}},
+		}
+	case framework.PostPublishProgress:
+		return []pointsto.SpawnSpec{{Tag: tagTaskProgress, FromArg: -1, Methods: []string{"onProgressUpdate"}}}
+	case framework.PostStartThread:
+		return []pointsto.SpawnSpec{{Tag: tagNative, FromArg: -1, Methods: []string{framework.RunMethod}}}
+	case framework.PostExecutorSubmit, framework.PostTimerSchedule:
+		return []pointsto.SpawnSpec{{Tag: tagNative, FromArg: 0, Methods: []string{framework.RunMethod}}}
+	}
+	return nil
+}
+
+// buildAdjacency flattens the context-sensitive call graph.
+func buildAdjacency(pts *pointsto.Result) map[MCtx][]MCtx {
+	adj := make(map[MCtx][]MCtx)
+	for _, e := range pts.CallEdges() {
+		from := MCtx{e.CallerMethod, e.CallerRecv}
+		to := MCtx{e.CalleeMethod, e.CalleeRecv}
+		adj[from] = append(adj[from], to)
+	}
+	return adj
+}
+
+// Reach returns the method contexts thread t may execute (its entry plus
+// everything reachable over call edges — spawn edges excluded).
+func (m *Model) Reach(t int) map[MCtx]bool {
+	if r, ok := m.reach[t]; ok {
+		return r
+	}
+	r := make(map[MCtx]bool)
+	th := m.Threads[t]
+	if th.Kind != KindDummyMain {
+		var stack []MCtx
+		push := func(mc MCtx) {
+			if !r[mc] {
+				r[mc] = true
+				stack = append(stack, mc)
+			}
+		}
+		push(th.Entry)
+		for len(stack) > 0 {
+			mc := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, next := range m.adj[mc] {
+				push(next)
+			}
+		}
+	}
+	m.reach[t] = r
+	return r
+}
+
+// attachSpawnedThreads grows the forest to fixpoint: a spawn edge whose
+// caller context is executed by thread t adds a child of t.
+func (m *Model) attachSpawnedThreads(maxThreads int) error {
+	edges := m.PTS.SpawnEdges()
+	// Group deferred AsyncTask callbacks (children of the task body).
+	type childKey struct {
+		parent int
+		entry  MCtx
+		site   ir.InstrID
+	}
+	made := make(map[childKey]int)
+
+	mkThread := func(parent int, kind Kind, tag int, entry MCtx, site ir.InstrID, looper bool, component string) int {
+		key := childKey{parent, entry, site}
+		if id, ok := made[key]; ok {
+			return id
+		}
+		// Refuse to re-create an entry that is already on the ancestor
+		// chain: posting cycles would otherwise unroll forever.
+		for a := parent; a >= 0; a = m.Threads[a].Parent {
+			t := m.Threads[a]
+			if t.Entry == entry && t.Site == site {
+				made[key] = a
+				return a
+			}
+		}
+		th := &Thread{
+			ID:        len(m.Threads),
+			Kind:      kind,
+			Post:      tagPostKind(tag),
+			Origin:    tagPostKind(tag).String(),
+			Entry:     entry,
+			Parent:    parent,
+			Site:      site,
+			Looper:    looper,
+			Component: component,
+		}
+		if tag == tagListener {
+			th.Origin = "listener"
+			th.Post = framework.PostNone
+		}
+		m.Threads = append(m.Threads, th)
+		made[key] = th.ID
+		return th.ID
+	}
+
+	for changed := true; changed; {
+		changed = false
+		if len(m.Threads) > maxThreads {
+			return fmt.Errorf("threadify: thread forest exceeded %d threads", maxThreads)
+		}
+		// Snapshot: iterating while appending is fine (children processed
+		// in later passes), but we re-check each thread every pass and
+		// dedupe through `made`.
+		for tid := 0; tid < len(m.Threads); tid++ {
+			reach := m.Reach(tid)
+			for _, e := range edges {
+				caller := MCtx{e.CallerMethod, e.CallerRecv}
+				if !reach[caller] {
+					continue
+				}
+				site := ir.InstrID{Method: e.CallerMethod, Index: e.Site}
+				entry := MCtx{e.TargetMethod, e.TargetRecv}
+				before := len(m.Threads)
+				comp := m.Threads[tid].Component
+				switch e.Tag {
+				case tagListener:
+					// UI/system listeners are entry callbacks: children of
+					// the dummy main regardless of who registered them
+					// (§4.1), but they still belong to the registering
+					// thread's component for lifecycle/CHB reasoning.
+					mkThread(0, KindEntryCallback, e.Tag, entry, site, true, comp)
+				case tagNative:
+					mkThread(tid, KindNativeThread, e.Tag, entry, site, false, comp)
+				case tagTaskBody:
+					mkThread(tid, KindTaskBody, e.Tag, entry, site, false, comp)
+				case tagTaskCallback:
+					// onPreExecute/onPostExecute: children of the AsyncTask
+					// body thread for the same task object (§4.2).
+					bodyEntry, ok := m.taskBodyEntry(e.TargetRecv)
+					if !ok {
+						break
+					}
+					bodyID, ok := made[childKey{tid, bodyEntry, site}]
+					if !ok {
+						break
+					}
+					mkThread(bodyID, KindPostedCallback, e.Tag, entry, site, true, comp)
+				case tagTaskProgress:
+					mkThread(tid, KindPostedCallback, e.Tag, entry, site, true, comp)
+				default:
+					mkThread(tid, KindPostedCallback, e.Tag, entry, site, true, comp)
+				}
+				if len(m.Threads) != before {
+					changed = true
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// taskBodyEntry finds the doInBackground entry context for a task object.
+func (m *Model) taskBodyEntry(task pointsto.ObjID) (MCtx, bool) {
+	cls := m.PTS.Obj(task).Class
+	tm := m.H.Resolve(cls, framework.AsyncTaskBody)
+	if tm == nil {
+		return MCtx{}, false
+	}
+	return MCtx{tm.Ref(), task}, true
+}
+
+// ComponentObj returns the synthetic receiver for a component class.
+func (m *Model) ComponentObj(class string) (pointsto.ObjID, bool) {
+	o, ok := m.compObj[class]
+	return o, ok
+}
+
+// ThreadsExecuting returns the IDs of threads that may execute mc.
+func (m *Model) ThreadsExecuting(mc MCtx) []int {
+	var out []int
+	for _, t := range m.Threads {
+		if m.Reach(t.ID)[mc] {
+			out = append(out, t.ID)
+		}
+	}
+	return out
+}
+
+// IsAncestor reports whether thread a is an ancestor of b (or a == b).
+func (m *Model) IsAncestor(a, b int) bool {
+	for cur := b; cur >= 0; cur = m.Threads[cur].Parent {
+		if cur == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Lineage renders the ancestor chain of a thread, root first — the
+// "callback and thread sequence" aid of §7.
+func (m *Model) Lineage(t int) string {
+	var parts []string
+	for cur := t; cur >= 0; cur = m.Threads[cur].Parent {
+		parts = append(parts, m.Threads[cur].Name())
+	}
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// Stats summarizes the model for Table 1's EC/PC/T columns.
+type Stats struct {
+	EC int // entry callbacks
+	PC int // posted callbacks
+	T  int // threads: dummy main + task bodies + native threads
+}
+
+// Stats counts thread kinds the way Table 1 reports them.
+func (m *Model) Stats() Stats {
+	var s Stats
+	for _, t := range m.Threads {
+		switch t.Kind {
+		case KindDummyMain, KindTaskBody, KindNativeThread:
+			s.T++
+		case KindEntryCallback:
+			s.EC++
+		case KindPostedCallback:
+			s.PC++
+		}
+	}
+	return s
+}

@@ -1,0 +1,190 @@
+// Package uaf turns raw racy pairs into use-after-free warnings (§5):
+// a warning is a (use, free) pair of instructions on the same field,
+// annotated with every (use-thread, free-thread) combination the race
+// detector found. Filters (§6) prune thread pairs; a warning survives
+// while at least one pair survives.
+package uaf
+
+import (
+	"fmt"
+	"sort"
+
+	"nadroid/internal/ir"
+	"nadroid/internal/pointsto"
+	"nadroid/internal/race"
+	"nadroid/internal/threadify"
+)
+
+// ThreadPair is one (use-thread, free-thread) combination.
+type ThreadPair struct {
+	Use, Free int
+}
+
+// Warning is one potential UAF: a use and a free of the same field that
+// may execute in an order that dereferences null.
+type Warning struct {
+	Field ir.FieldRef
+	Use   ir.InstrID
+	Free  ir.InstrID
+	// Pairs are the thread combinations still alive; filters remove
+	// entries and annotate Filtered.
+	Pairs []ThreadPair
+	// Objs are the shared abstract objects underlying the race.
+	Objs []pointsto.ObjID
+	// FilteredBy records, per removed pair, which filter removed it.
+	FilteredBy map[ThreadPair]string
+}
+
+// Key identifies a warning for deduplication and reporting.
+func (w *Warning) Key() string {
+	return fmt.Sprintf("%s|%s|%s", w.Field, w.Use, w.Free)
+}
+
+// Alive reports whether any thread pair survives.
+func (w *Warning) Alive() bool { return len(w.Pairs) > 0 }
+
+// RemovePairs deletes the pairs selected by keep==false, recording the
+// filter name; it returns how many pairs were removed.
+func (w *Warning) RemovePairs(filter string, remove func(ThreadPair) bool) int {
+	kept := w.Pairs[:0]
+	n := 0
+	for _, p := range w.Pairs {
+		if remove(p) {
+			if w.FilteredBy == nil {
+				w.FilteredBy = make(map[ThreadPair]string)
+			}
+			w.FilteredBy[p] = filter
+			n++
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	w.Pairs = kept
+	return n
+}
+
+// Detection is the result of the UAF stage.
+type Detection struct {
+	Model    *threadify.Model
+	Race     *race.Result
+	Warnings []*Warning
+	// accByID lets filters look up access metadata.
+	accByID map[int]race.Access
+}
+
+// AccessFor returns the access metadata for an id.
+func (d *Detection) AccessFor(id int) race.Access { return d.accByID[id] }
+
+// Detect runs race detection restricted to use/free pairs and groups the
+// racy pairs into warnings keyed by (field, use instr, free instr).
+func Detect(m *threadify.Model) *Detection {
+	rr := race.Detect(m, race.Options{UseFreeOnly: true})
+	return Group(m, rr)
+}
+
+// Group assembles warnings from a race result.
+func Group(m *threadify.Model, rr *race.Result) *Detection {
+	d := &Detection{Model: m, Race: rr, accByID: make(map[int]race.Access)}
+	for _, a := range rr.Accesses {
+		d.accByID[a.ID] = a
+	}
+	byKey := make(map[string]*Warning)
+	var order []string
+	for _, p := range rr.Pairs {
+		use, free := d.accByID[p.A], d.accByID[p.B]
+		if use.Kind != race.Read || free.Kind != race.NullWrite {
+			continue
+		}
+		w := &Warning{Field: use.Field, Use: use.Instr, Free: free.Instr}
+		k := w.Key()
+		existing, ok := byKey[k]
+		if !ok {
+			byKey[k] = w
+			order = append(order, k)
+			existing = w
+		}
+		pair := ThreadPair{Use: use.Thread, Free: free.Thread}
+		if !hasPair(existing.Pairs, pair) {
+			existing.Pairs = append(existing.Pairs, pair)
+		}
+		existing.Objs = mergeObjs(existing.Objs, intersect(use.Objs, free.Objs))
+	}
+	sort.Strings(order)
+	for _, k := range order {
+		d.Warnings = append(d.Warnings, byKey[k])
+	}
+	for _, w := range d.Warnings {
+		sort.Slice(w.Pairs, func(i, j int) bool {
+			if w.Pairs[i].Use != w.Pairs[j].Use {
+				return w.Pairs[i].Use < w.Pairs[j].Use
+			}
+			return w.Pairs[i].Free < w.Pairs[j].Free
+		})
+	}
+	return d
+}
+
+// AliveCount counts warnings with at least one surviving pair.
+func (d *Detection) AliveCount() int {
+	n := 0
+	for _, w := range d.Warnings {
+		if w.Alive() {
+			n++
+		}
+	}
+	return n
+}
+
+// Alive returns the surviving warnings.
+func (d *Detection) Alive() []*Warning {
+	var out []*Warning
+	for _, w := range d.Warnings {
+		if w.Alive() {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func hasPair(pairs []ThreadPair, p ThreadPair) bool {
+	for _, q := range pairs {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+func intersect(a, b []pointsto.ObjID) []pointsto.ObjID {
+	set := make(map[pointsto.ObjID]bool, len(a))
+	for _, o := range a {
+		set[o] = true
+	}
+	var out []pointsto.ObjID
+	for _, o := range b {
+		if set[o] {
+			out = append(out, o)
+		}
+	}
+	if out == nil && len(a) == 0 && len(b) == 0 {
+		// Static accesses carry no objects; keep empty.
+		return nil
+	}
+	return out
+}
+
+func mergeObjs(a, b []pointsto.ObjID) []pointsto.ObjID {
+	set := make(map[pointsto.ObjID]bool, len(a)+len(b))
+	for _, o := range a {
+		set[o] = true
+	}
+	for _, o := range b {
+		set[o] = true
+	}
+	out := make([]pointsto.ObjID, 0, len(set))
+	for o := range set {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,143 @@
+// Package nadroid is a from-scratch Go reproduction of "nAdroid:
+// Statically Detecting Ordering Violations in Android Applications"
+// (Fu, Lee, Jung — CGO 2018): a static use-after-free ordering-violation
+// detector for Android's hybrid event/thread concurrency model.
+//
+// The pipeline mirrors the paper's Figure 2:
+//
+//  1. Modeling (§4): threadification converts every event callback into a
+//     modeled thread (internal/threadify).
+//  2. Detection (§5): a Chord-style k-object-sensitive race detector
+//     finds racy use/free pairs (internal/pointsto, internal/race,
+//     internal/uaf).
+//  3. Filtering (§6): sound (MHB, IG, IA) and unsound (RHB, CHB, PHB,
+//     MA, UR, TT) filters prune false and benign warnings
+//     (internal/filters).
+//  4. Review aids (§7): surviving warnings are classified (EC-EC … C-NT)
+//     with callback lineage (internal/report), and can be mechanically
+//     validated by exploring event schedules until a
+//     NullPointerException witnesses the UAF (internal/explore).
+//
+// Applications are authored with internal/appbuilder or loaded from the
+// dexasm text format (internal/dexasm); the 27-app synthetic corpus
+// reproducing the paper's evaluation lives in internal/corpus.
+package nadroid
+
+import (
+	"time"
+
+	"nadroid/internal/apk"
+	"nadroid/internal/explore"
+	"nadroid/internal/filters"
+	"nadroid/internal/report"
+	"nadroid/internal/threadify"
+	"nadroid/internal/uaf"
+)
+
+// Options configures an analysis run.
+type Options struct {
+	// K is the points-to object-sensitivity depth (default 2, the
+	// paper's setting).
+	K int
+	// SkipSoundFilters disables the §6.1 filters.
+	SkipSoundFilters bool
+	// SkipUnsoundFilters disables the §6.2 filters (for users who demand
+	// soundness; the unsound filters then act only as ranking).
+	SkipUnsoundFilters bool
+	// MultiLooper drops the single-looper assumption (§8.1), downgrading
+	// the IG/IA filters to require locks even between looper callbacks.
+	MultiLooper bool
+	// Validate runs the schedule explorer over surviving warnings and
+	// fills Result.Harmful.
+	Validate bool
+	// Explore bounds validation when Validate is set.
+	Explore explore.Options
+}
+
+// Timing is the per-phase wall-clock split (§8.8).
+type Timing struct {
+	Modeling   time.Duration
+	Detection  time.Duration
+	Filtering  time.Duration
+	Validation time.Duration
+}
+
+// Total sums the phases.
+func (t Timing) Total() time.Duration {
+	return t.Modeling + t.Detection + t.Filtering + t.Validation
+}
+
+// Result bundles everything a caller may want from a run.
+type Result struct {
+	// Model is the threadified program.
+	Model *threadify.Model
+	// Detection holds every potential warning, with filtered thread
+	// pairs annotated by the filter that removed them.
+	Detection *uaf.Detection
+	// Stats summarizes the filter pipeline.
+	Stats *filters.Stats
+	// Report classifies and ranks the survivors.
+	Report *report.Report
+	// Harmful lists survivors confirmed by a dynamic witness (only when
+	// Options.Validate was set).
+	Harmful []*uaf.Warning
+	// Timing is the phase breakdown.
+	Timing Timing
+}
+
+// Analyze runs the full nAdroid pipeline on one application package.
+func Analyze(pkg *apk.Package, opts Options) (*Result, error) {
+	res := &Result{}
+
+	start := time.Now()
+	model, err := threadify.Build(pkg, threadify.Options{K: opts.K})
+	if err != nil {
+		return nil, err
+	}
+	res.Model = model
+	res.Timing.Modeling = time.Since(start)
+
+	start = time.Now()
+	res.Detection = uaf.Detect(model)
+	res.Timing.Detection = time.Since(start)
+
+	start = time.Now()
+	res.Stats = runFilters(res.Detection, opts)
+	res.Timing.Filtering = time.Since(start)
+
+	res.Report = report.New(pkg.Name, res.Detection)
+
+	if opts.Validate {
+		start = time.Now()
+		res.Harmful = explore.ValidateAll(pkg, res.Model, res.Detection.Alive(), opts.Explore)
+		res.Timing.Validation = time.Since(start)
+	}
+	return res, nil
+}
+
+func runFilters(d *uaf.Detection, opts Options) *filters.Stats {
+	ctx := filters.NewContextWith(d, filters.Options{MultiLooper: opts.MultiLooper})
+	st := &filters.Stats{Potential: d.AliveCount(), Removed: make(map[string]int)}
+	apply := func(fs []filters.Filter) {
+		for _, f := range fs {
+			for _, w := range d.Warnings {
+				if !w.Alive() {
+					continue
+				}
+				f.Apply(ctx, w)
+				if !w.Alive() {
+					st.Removed[f.Name()]++
+				}
+			}
+		}
+	}
+	if !opts.SkipSoundFilters {
+		apply(filters.SoundFilters())
+	}
+	st.AfterSound = d.AliveCount()
+	if !opts.SkipUnsoundFilters {
+		apply(filters.UnsoundFilters())
+	}
+	st.AfterUnsound = d.AliveCount()
+	return st
+}
