@@ -1,0 +1,27 @@
+# Build/verify entry points. `make check` is the CI gate: vet plus the
+# short test suite under the race detector (the internal/server pool and
+# cache tests are written to exercise their locking under -race).
+
+GO ?= go
+
+.PHONY: build vet test test-short race check serve
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -short -race ./...
+
+check: build vet race
+
+serve: build
+	$(GO) run ./cmd/nadroid-serve

@@ -1,0 +1,75 @@
+// Command nadroid-serve runs the nAdroid analysis pipeline as an HTTP
+// service: a bounded worker pool drains a FIFO job queue, results are
+// memoized in a content-addressed LRU cache, and every job carries a
+// cancelable deadline so abandoned requests stop burning CPU. See
+// internal/server for the API.
+//
+// Usage:
+//
+//	nadroid-serve [-addr :8372] [-workers 4] [-queue 64] [-cache 256] [-timeout 2m]
+//
+// Example session:
+//
+//	curl -s localhost:8372/v1/apps
+//	curl -s -X POST localhost:8372/v1/analyze -d '{"app":"ConnectBot"}'
+//	curl -s -X POST 'localhost:8372/v1/analyze?async=true' -d '{"app":"FireFox","options":{"validate":true}}'
+//	curl -s localhost:8372/v1/jobs/job-00000002
+//	curl -s localhost:8372/metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nadroid/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8372", "listen address")
+		workers = flag.Int("workers", 4, "concurrent analysis workers")
+		queue   = flag.Int("queue", 64, "job queue depth (FIFO)")
+		cache   = flag.Int("cache", 256, "result cache capacity (entries, LRU)")
+		timeout = flag.Duration("timeout", 2*time.Minute, "default per-job deadline (0 disables)")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cache,
+		DefaultTimeout: *timeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("nadroid-serve listening on %s (%d workers, queue %d, cache %d)",
+		*addr, *workers, *queue, *cache)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case sig := <-sigc:
+		log.Printf("received %v; draining in-flight jobs (budget %v)", sig, *drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	_ = httpSrv.Shutdown(ctx) // stop intake first
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "nadroid-serve: drain incomplete: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("drained; bye")
+}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +27,7 @@ import (
 	"nadroid/internal/explore"
 	"nadroid/internal/interp"
 	"nadroid/internal/nosleep"
+	"nadroid/internal/server"
 )
 
 func main() {
@@ -38,6 +40,7 @@ func main() {
 		budget    = flag.Int("budget", 3000, "schedule budget per warning when validating")
 		noUnsound = flag.Bool("sound-only", false, "apply only the sound filters (MHB, IG, IA)")
 		csv       = flag.Bool("csv", false, "emit the report as CSV (ResultAnalysis.csv rows)")
+		jsonOut   = flag.Bool("json", false, "emit the report and timing as JSON (the nadroid-serve wire format)")
 		explain   = flag.Bool("explain", false, "with -validate: replay each witness as an event narrative")
 		noSleep   = flag.Bool("nosleep", false, "also run the §9 no-sleep energy-bug detector")
 		devaMode  = flag.Bool("deva", false, "run the DEvA baseline instead of nAdroid")
@@ -92,6 +95,14 @@ func main() {
 		fatalf("analyze: %v", err)
 	}
 
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(server.EncodeResult(pkg.Name, res)); err != nil {
+			fatalf("encode: %v", err)
+		}
+		return
+	}
 	if *csv {
 		fmt.Print(res.Report.CSV())
 	} else {

@@ -1,0 +1,63 @@
+package dexasm_test
+
+import (
+	"testing"
+
+	"nadroid/internal/corpus"
+	"nadroid/internal/dexasm"
+)
+
+// TestCorpusRoundTrip proves the dexasm text format is a faithful wire
+// format for every corpus app: Format is parseable, and re-formatting
+// the parse reproduces the text byte for byte. nadroid-serve accepts
+// dexasm as its wire input and content-addresses results by the
+// canonical re-format, so a lossy round trip would corrupt both the
+// analyses and the cache keys.
+func TestCorpusRoundTrip(t *testing.T) {
+	for _, app := range corpus.Apps() {
+		app := app
+		t.Run(app.Name(), func(t *testing.T) {
+			pkg := app.Build()
+			text := dexasm.Format(pkg)
+			reparsed, err := dexasm.Parse(text)
+			if err != nil {
+				t.Fatalf("parse of formatted app: %v", err)
+			}
+			if reparsed.Name != pkg.Name {
+				t.Errorf("name %q -> %q", pkg.Name, reparsed.Name)
+			}
+			text2 := dexasm.Format(reparsed)
+			if text2 != text {
+				t.Errorf("re-format differs from original format (lossy round trip)\nfirst diff near:\n%s",
+					firstDiff(text, text2))
+			}
+		})
+	}
+}
+
+// firstDiff returns a short window around the first differing byte.
+func firstDiff(a, b string) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	lo := i - 80
+	if lo < 0 {
+		lo = 0
+	}
+	win := func(s string) string {
+		hi := i + 80
+		if hi > len(s) {
+			hi = len(s)
+		}
+		if lo > len(s) {
+			return ""
+		}
+		return s[lo:hi]
+	}
+	return "want: …" + win(a) + "…\ngot:  …" + win(b) + "…"
+}

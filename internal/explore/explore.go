@@ -11,6 +11,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 
 	"nadroid/internal/apk"
@@ -55,6 +56,15 @@ func (w *Witness) String() string {
 // FindNPE searches for any schedule whose execution raises an NPE
 // accepted by match (nil matches every NPE).
 func FindNPE(pkg *apk.Package, opts Options, match func(interp.NPE) bool) (*Witness, bool) {
+	w, ok, _ := FindNPEContext(context.Background(), pkg, opts, match)
+	return w, ok
+}
+
+// FindNPEContext is FindNPE with cancellation: ctx is checked before
+// every schedule execution, so a canceled or expired context stops the
+// search mid-budget and reports ctx.Err(). A nil error with ok == false
+// means the budget was exhausted without a witness.
+func FindNPEContext(ctx context.Context, pkg *apk.Package, opts Options, match func(interp.NPE) bool) (*Witness, bool, error) {
 	opts = opts.withDefaults()
 	if match == nil {
 		match = func(interp.NPE) bool { return true }
@@ -68,20 +78,23 @@ func FindNPE(pkg *apk.Package, opts Options, match func(interp.NPE) bool) (*Witn
 	for _, takeOpaque := range policies {
 		iopts := opts.Interp
 		iopts.TakeOpaqueBranches = takeOpaque
-		w, ok := dfs(pkg, iopts, budget/len(policies), &executions, match, takeOpaque)
-		if ok {
-			return w, true
+		w, ok, err := dfs(ctx, pkg, iopts, budget/len(policies), &executions, match, takeOpaque)
+		if ok || err != nil {
+			return w, ok, err
 		}
 	}
-	return nil, false
+	return nil, false, nil
 }
 
 // dfs runs the schedule-tree exploration for one branch policy.
-func dfs(pkg *apk.Package, iopts interp.Options, budget int, executions *int, match func(interp.NPE) bool, takeOpaque bool) (*Witness, bool) {
+func dfs(ctx context.Context, pkg *apk.Package, iopts interp.Options, budget int, executions *int, match func(interp.NPE) bool, takeOpaque bool) (*Witness, bool, error) {
 	type item struct{ schedule []int }
 	stack := []item{{nil}}
 	seen := map[string]bool{"": true}
 	for len(stack) > 0 && budget > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
 		it := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		budget--
@@ -96,7 +109,7 @@ func dfs(pkg *apk.Package, iopts interp.Options, budget int, executions *int, ma
 					NPE:                 npe,
 					OpaqueBranchesTaken: takeOpaque,
 					Executions:          *executions,
-				}, true
+				}, true, nil
 			}
 		}
 		// Expand siblings at every choice point at or beyond the frozen
@@ -117,7 +130,7 @@ func dfs(pkg *apk.Package, iopts interp.Options, budget int, executions *int, ma
 			}
 		}
 	}
-	return nil, false
+	return nil, false, nil
 }
 
 // ValidateWarning searches for a schedule in which the value loaded at
@@ -128,11 +141,18 @@ func dfs(pkg *apk.Package, iopts interp.Options, budget int, executions *int, ma
 // the paper's §7 hint of starting exploration from the root entry
 // callbacks.
 func ValidateWarning(pkg *apk.Package, model *threadify.Model, w *uaf.Warning, opts Options) (*Witness, bool) {
+	wit, ok, _ := ValidateWarningContext(context.Background(), pkg, model, w, opts)
+	return wit, ok
+}
+
+// ValidateWarningContext is ValidateWarning with cancellation (see
+// FindNPEContext for the error contract).
+func ValidateWarningContext(ctx context.Context, pkg *apk.Package, model *threadify.Model, w *uaf.Warning, opts Options) (*Witness, bool, error) {
 	if model != nil {
 		opts.Interp.EventFilter = warningEventFilter(model, w)
 		opts.Interp.SpawnFilter = warningSpawnFilter(model, w)
 	}
-	return FindNPE(pkg, opts, func(n interp.NPE) bool {
+	return FindNPEContext(ctx, pkg, opts, func(n interp.NPE) bool {
 		return n.LoadedAt == w.Use
 	})
 }
@@ -211,13 +231,27 @@ func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }
 // subset (in input order). model focuses each warning's search; pass nil
 // to explore unfocused.
 func ValidateAll(pkg *apk.Package, model *threadify.Model, warnings []*uaf.Warning, opts Options) []*uaf.Warning {
+	out, _ := ValidateAllContext(context.Background(), pkg, model, warnings, opts)
+	return out
+}
+
+// ValidateAllContext is ValidateAll with cancellation: the per-warning
+// schedule budget still applies, but ctx is additionally checked before
+// every schedule execution, so an expired deadline stops the sweep
+// mid-warning. On cancellation it returns the harmful subset confirmed
+// so far along with ctx.Err().
+func ValidateAllContext(ctx context.Context, pkg *apk.Package, model *threadify.Model, warnings []*uaf.Warning, opts Options) ([]*uaf.Warning, error) {
 	var out []*uaf.Warning
 	for _, w := range warnings {
-		if _, ok := ValidateWarning(pkg, model, w, opts); ok {
+		_, ok, err := ValidateWarningContext(ctx, pkg, model, w, opts)
+		if err != nil {
+			return out, err
+		}
+		if ok {
 			out = append(out, w)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // FindNoSleep searches for a schedule whose execution runs to quiescence

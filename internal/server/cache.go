@@ -1,0 +1,97 @@
+// cache.go implements the content-addressed result cache: analyses are
+// keyed by the SHA-256 of the app's canonical dexasm text plus the
+// normalized option set, so two submissions of the same program (however
+// formatted) with equivalent options share one entry. Eviction is LRU
+// over a fixed entry budget — analysis results are small next to the
+// cost of recomputing them, so a count bound is enough.
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+)
+
+// CacheKey addresses one (program, options) analysis.
+type CacheKey string
+
+// ResultKey hashes canonical dexasm text and normalized options into a
+// cache key.
+func ResultKey(canonicalDexasm string, opts OptionsWire) CacheKey {
+	h := sha256.New()
+	h.Write([]byte(canonicalDexasm))
+	h.Write([]byte{0}) // domain-separate program text from options
+	h.Write([]byte(opts.cacheKeyPart()))
+	return CacheKey(hex.EncodeToString(h.Sum(nil)))
+}
+
+// Cache is a thread-safe LRU mapping CacheKey to *ResultWire.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[CacheKey]*list.Element
+
+	hits, misses uint64
+}
+
+type cacheEntry struct {
+	key CacheKey
+	res *ResultWire
+}
+
+// NewCache builds a cache bounded to capacity entries (minimum 1).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{cap: capacity, order: list.New(), entries: make(map[CacheKey]*list.Element)}
+}
+
+// Get returns the cached result and bumps its recency. Every call
+// counts as a hit or a miss.
+func (c *Cache) Get(key CacheKey) (*ResultWire, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put stores a result, evicting the least recently used entry when over
+// capacity. Storing an existing key refreshes its value and recency.
+func (c *Cache) Put(key CacheKey, res *ResultWire) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the current entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Counters returns the lifetime hit/miss totals.
+func (c *Cache) Counters() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestResultKeyContentAddressing(t *testing.T) {
+	a := ResultKey("app demo\n", OptionsWire{})
+	b := ResultKey("app demo\n", OptionsWire{K: 2}) // K=2 is the normalized default
+	if a != b {
+		t.Error("default and explicit-default options must share a key")
+	}
+	if ResultKey("app demo\n", OptionsWire{MultiLooper: true}) == a {
+		t.Error("different options must change the key")
+	}
+	if ResultKey("app other\n", OptionsWire{}) == a {
+		t.Error("different programs must change the key")
+	}
+	// MaxSchedules is only meaningful when validating.
+	if ResultKey("app demo\n", OptionsWire{MaxSchedules: 99}) != a {
+		t.Error("max_schedules without validate must not split entries")
+	}
+	if ResultKey("app demo\n", OptionsWire{Validate: true, MaxSchedules: 99}) ==
+		ResultKey("app demo\n", OptionsWire{Validate: true, MaxSchedules: 100}) {
+		t.Error("max_schedules with validate must split entries")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	k1, k2, k3 := CacheKey("k1"), CacheKey("k2"), CacheKey("k3")
+	c.Put(k1, &ResultWire{App: "1"})
+	c.Put(k2, &ResultWire{App: "2"})
+	if _, ok := c.Get(k1); !ok { // bump k1 to most-recent
+		t.Fatal("k1 must be present")
+	}
+	c.Put(k3, &ResultWire{App: "3"}) // evicts k2, the LRU entry
+	if _, ok := c.Get(k2); ok {
+		t.Error("k2 must have been evicted")
+	}
+	if _, ok := c.Get(k1); !ok {
+		t.Error("k1 must have survived (recently used)")
+	}
+	if _, ok := c.Get(k3); !ok {
+		t.Error("k3 must be present")
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
+	}
+	hits, misses := c.Counters()
+	if hits != 3 || misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 3/1", hits, misses)
+	}
+}
+
+func TestCachePutRefreshesExisting(t *testing.T) {
+	c := NewCache(4)
+	k := CacheKey("k")
+	c.Put(k, &ResultWire{App: "old"})
+	c.Put(k, &ResultWire{App: "new"})
+	if c.Len() != 1 {
+		t.Errorf("len = %d, want 1", c.Len())
+	}
+	res, ok := c.Get(k)
+	if !ok || res.App != "new" {
+		t.Errorf("got %+v, want the refreshed value", res)
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewCache(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := CacheKey(fmt.Sprintf("k%d", (g+i)%16))
+				if i%3 == 0 {
+					c.Put(k, &ResultWire{App: string(k)})
+				} else {
+					c.Get(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 8 {
+		t.Errorf("len = %d exceeds capacity", c.Len())
+	}
+}

@@ -1,0 +1,168 @@
+// metrics.go keeps the service's observable state: monotonic job
+// counters, gauges for queue/worker occupancy, the cache hit/miss pair,
+// and per-phase latency histograms fed from Result.Timing. Rendering is
+// a plain-text format (name value per line, histograms as cumulative
+// le-buckets) that scrapers and humans can both read.
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// histBounds are the histogram bucket upper bounds. Detection dominates
+// wall-clock (§8.8), so the decades span sub-millisecond filtering up
+// to multi-minute validation runs.
+var histBounds = []time.Duration{
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+	10 * time.Second,
+	time.Minute,
+}
+
+// histogram is a fixed-bucket latency histogram; the slot past the last
+// bound is +Inf.
+type histogram struct {
+	counts []uint64
+	sum    time.Duration
+	total  uint64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	if h.counts == nil {
+		h.counts = make([]uint64, len(histBounds)+1)
+	}
+	i := sort.Search(len(histBounds), func(i int) bool { return d <= histBounds[i] })
+	h.counts[i]++
+	h.sum += d
+	h.total++
+}
+
+// Metrics aggregates everything GET /metrics renders.
+type Metrics struct {
+	mu sync.Mutex
+
+	jobsQueued   uint64 // total ever enqueued
+	jobsDone     uint64
+	jobsFailed   uint64
+	jobsCanceled uint64
+	queueDepth   int // currently waiting
+	running      int // currently executing
+
+	phases map[string]*histogram
+}
+
+// NewMetrics builds an empty metric set.
+func NewMetrics() *Metrics {
+	return &Metrics{phases: make(map[string]*histogram)}
+}
+
+// JobQueued / JobStarted / JobFinished track the queue and worker gauges.
+func (m *Metrics) JobQueued() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobsQueued++
+	m.queueDepth++
+}
+
+func (m *Metrics) JobStarted() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queueDepth--
+	m.running++
+}
+
+// JobFinished records a terminal state: "done", "failed", or "canceled".
+func (m *Metrics) JobFinished(state string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.running--
+	switch state {
+	case StateDone:
+		m.jobsDone++
+	case StateCanceled:
+		m.jobsCanceled++
+	default:
+		m.jobsFailed++
+	}
+}
+
+// ObserveTiming feeds one analysis's phase split into the histograms.
+func (m *Metrics) ObserveTiming(t TimingWire) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	obs := func(phase string, msVal float64) {
+		h := m.phases[phase]
+		if h == nil {
+			h = &histogram{}
+			m.phases[phase] = h
+		}
+		h.observe(time.Duration(msVal * float64(time.Millisecond)))
+	}
+	obs("modeling", t.ModelingMS)
+	obs("detection", t.DetectionMS)
+	obs("filtering", t.FilteringMS)
+	if t.ValidationMS > 0 {
+		obs("validation", t.ValidationMS)
+	}
+}
+
+// Snapshot is a point-in-time counter read, used by tests and the
+// /metrics renderer.
+type Snapshot struct {
+	JobsQueued, JobsDone, JobsFailed, JobsCanceled uint64
+	QueueDepth, Running                            int
+}
+
+// Counters returns the current job counters.
+func (m *Metrics) Counters() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Snapshot{
+		JobsQueued: m.jobsQueued, JobsDone: m.jobsDone,
+		JobsFailed: m.jobsFailed, JobsCanceled: m.jobsCanceled,
+		QueueDepth: m.queueDepth, Running: m.running,
+	}
+}
+
+// Render writes the plain-text exposition, cache counters included.
+func (m *Metrics) Render(cache *Cache) string {
+	hits, misses := cache.Counters()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "nadroid_jobs_queued_total %d\n", m.jobsQueued)
+	fmt.Fprintf(&b, "nadroid_jobs_done_total %d\n", m.jobsDone)
+	fmt.Fprintf(&b, "nadroid_jobs_failed_total %d\n", m.jobsFailed)
+	fmt.Fprintf(&b, "nadroid_jobs_canceled_total %d\n", m.jobsCanceled)
+	fmt.Fprintf(&b, "nadroid_queue_depth %d\n", m.queueDepth)
+	fmt.Fprintf(&b, "nadroid_jobs_running %d\n", m.running)
+	fmt.Fprintf(&b, "nadroid_cache_hits_total %d\n", hits)
+	fmt.Fprintf(&b, "nadroid_cache_misses_total %d\n", misses)
+	fmt.Fprintf(&b, "nadroid_cache_entries %d\n", cache.Len())
+
+	phases := make([]string, 0, len(m.phases))
+	for p := range m.phases {
+		phases = append(phases, p)
+	}
+	sort.Strings(phases)
+	for _, p := range phases {
+		h := m.phases[p]
+		cum := uint64(0)
+		for i, bound := range histBounds {
+			cum += h.counts[i]
+			fmt.Fprintf(&b, "nadroid_phase_latency_bucket{phase=%q,le=%q} %d\n", p, bound, cum)
+		}
+		cum += h.counts[len(histBounds)]
+		fmt.Fprintf(&b, "nadroid_phase_latency_bucket{phase=%q,le=\"+Inf\"} %d\n", p, cum)
+		fmt.Fprintf(&b, "nadroid_phase_latency_sum_ms{phase=%q} %.3f\n", p, float64(h.sum)/float64(time.Millisecond))
+		fmt.Fprintf(&b, "nadroid_phase_latency_count{phase=%q} %d\n", p, h.total)
+	}
+	return b.String()
+}

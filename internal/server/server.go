@@ -1,0 +1,257 @@
+// Package server is the nadroid-serve subsystem: an HTTP JSON API that
+// runs the nAdroid pipeline as a service. Requests (dexasm payloads or
+// corpus app names) flow through a bounded worker pool with a FIFO
+// queue; results are memoized in a content-addressed LRU cache keyed by
+// canonical program text + normalized options; every job gets a
+// cancelable context with an optional deadline that the pipeline
+// honors between phases (and per schedule during validation).
+//
+// Endpoints:
+//
+//	POST   /v1/analyze        analyze (sync; ?async=true returns a job ID)
+//	GET    /v1/jobs/{id}      job status + result
+//	DELETE /v1/jobs/{id}      cancel a queued or running job
+//	GET    /v1/apps           corpus listing
+//	GET    /healthz           liveness
+//	GET    /metrics           plain-text counters + phase histograms
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"nadroid"
+	"nadroid/internal/apk"
+	"nadroid/internal/corpus"
+	"nadroid/internal/dexasm"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the analysis concurrency (default 4).
+	Workers int
+	// QueueDepth bounds the FIFO job queue (default 64).
+	QueueDepth int
+	// CacheEntries bounds the result cache (default 256).
+	CacheEntries int
+	// DefaultTimeout applies to jobs that set no timeout_ms; zero means
+	// no deadline.
+	DefaultTimeout time.Duration
+	// MaxDexasmBytes bounds the request body (default 8 MiB).
+	MaxDexasmBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	if c.MaxDexasmBytes <= 0 {
+		c.MaxDexasmBytes = 8 << 20
+	}
+	return c
+}
+
+// Server implements http.Handler.
+type Server struct {
+	cfg     Config
+	cache   *Cache
+	pool    *Pool
+	metrics *Metrics
+	mux     *http.ServeMux
+}
+
+// New builds a ready-to-serve Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		cache:   NewCache(cfg.CacheEntries),
+		metrics: NewMetrics(),
+	}
+	s.pool = NewPool(cfg.Workers, cfg.QueueDepth, s.metrics)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("/v1/jobs/", s.handleJob)
+	s.mux.HandleFunc("/v1/apps", s.handleApps)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP dispatches to the API mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Metrics exposes the counter set (tests and embedders).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Shutdown drains the pool (see Pool.Shutdown).
+func (s *Server) Shutdown(ctx context.Context) error { return s.pool.Shutdown(ctx) }
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// resolveRequest turns an AnalyzeRequest into a package plus the
+// canonical dexasm text that addresses its cache entry. Dexasm payloads
+// are canonicalized by re-formatting the parsed package, so formatting
+// differences (comments, blank lines, ordering the formatter fixes)
+// cannot split cache entries for the same program.
+func resolveRequest(req *AnalyzeRequest) (*apk.Package, string, error) {
+	switch {
+	case req.App != "" && req.Dexasm != "":
+		return nil, "", errors.New("set exactly one of app or dexasm, not both")
+	case req.App != "":
+		app, ok := corpus.ByName(req.App)
+		if !ok {
+			return nil, "", fmt.Errorf("unknown corpus app %q (GET /v1/apps lists them)", req.App)
+		}
+		pkg := app.Build()
+		return pkg, dexasm.Format(pkg), nil
+	case req.Dexasm != "":
+		pkg, err := dexasm.Parse(req.Dexasm)
+		if err != nil {
+			return nil, "", err
+		}
+		return pkg, dexasm.Format(pkg), nil
+	default:
+		return nil, "", errors.New("set app (corpus name) or dexasm (program text)")
+	}
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req AnalyzeRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxDexasmBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	pkg, canonical, err := resolveRequest(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	key := ResultKey(canonical, req.Options)
+	if res, ok := s.cache.Get(key); ok {
+		hit := *res
+		hit.Cached = true
+		writeJSON(w, http.StatusOK, &hit)
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	opts := req.Options.ToOptions()
+	appName := pkg.Name
+	job, err := s.pool.Submit(appName, timeout, func(ctx context.Context) (*ResultWire, error) {
+		res, err := nadroid.AnalyzeContext(ctx, pkg, opts)
+		if err != nil {
+			return nil, err
+		}
+		out := EncodeResult(appName, res)
+		s.metrics.ObserveTiming(out.Timing)
+		s.cache.Put(key, out)
+		return out, nil
+	})
+	if err != nil {
+		status := http.StatusServiceUnavailable
+		writeError(w, status, "%v", err)
+		return
+	}
+
+	if r.URL.Query().Get("async") == "true" {
+		writeJSON(w, http.StatusAccepted, job.Status())
+		return
+	}
+
+	select {
+	case <-job.Done():
+	case <-r.Context().Done():
+		// The client went away: stop burning CPU on its behalf.
+		job.Cancel()
+		<-job.Done()
+	}
+	st := job.Status()
+	switch st.State {
+	case StateDone:
+		writeJSON(w, http.StatusOK, st.Result)
+	case StateCanceled:
+		writeError(w, http.StatusRequestTimeout, "analysis canceled: %s", st.Error)
+	default:
+		writeError(w, http.StatusInternalServerError, "analysis failed: %s", st.Error)
+	}
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	if id == "" || strings.Contains(id, "/") {
+		writeError(w, http.StatusNotFound, "job id required")
+		return
+	}
+	job, ok := s.pool.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, job.Status())
+	case http.MethodDelete:
+		job.Cancel()
+		writeJSON(w, http.StatusOK, job.Status())
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET or DELETE required")
+	}
+}
+
+func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	var out []AppWire
+	for _, a := range corpus.Apps() {
+		out = append(out, AppWire{Name: a.Name(), Group: a.Spec.Group, TrueHarmful: a.Spec.TrueTotal()})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, s.metrics.Render(s.cache))
+}

@@ -1,0 +1,180 @@
+// wire.go defines the JSON wire format shared by cmd/nadroid's -json
+// flag and the nadroid-serve HTTP API, so the CLI and the service emit
+// byte-compatible reports. Every type here is a plain encoding/json
+// struct; the conversion helpers are the only place analysis results
+// are flattened for transport.
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"nadroid"
+	"nadroid/internal/explore"
+)
+
+// OptionsWire mirrors nadroid.Options for transport. Zero values mean
+// "the default": K falls back to 2 and MaxSchedules to the explorer's
+// default, matching the CLI flags.
+type OptionsWire struct {
+	K                  int  `json:"k,omitempty"`
+	SkipSoundFilters   bool `json:"skip_sound_filters,omitempty"`
+	SkipUnsoundFilters bool `json:"skip_unsound_filters,omitempty"`
+	MultiLooper        bool `json:"multi_looper,omitempty"`
+	Validate           bool `json:"validate,omitempty"`
+	MaxSchedules       int  `json:"max_schedules,omitempty"`
+}
+
+// Normalize fills defaults so that two requests meaning the same run
+// produce identical cache keys.
+func (o OptionsWire) Normalize() OptionsWire {
+	if o.K <= 0 {
+		o.K = 2
+	}
+	if !o.Validate {
+		o.MaxSchedules = 0
+	} else if o.MaxSchedules <= 0 {
+		o.MaxSchedules = 3000
+	}
+	return o
+}
+
+// ToOptions converts to the analysis option set.
+func (o OptionsWire) ToOptions() nadroid.Options {
+	o = o.Normalize()
+	return nadroid.Options{
+		K:                  o.K,
+		SkipSoundFilters:   o.SkipSoundFilters,
+		SkipUnsoundFilters: o.SkipUnsoundFilters,
+		MultiLooper:        o.MultiLooper,
+		Validate:           o.Validate,
+		Explore:            explore.Options{MaxSchedules: o.MaxSchedules},
+	}
+}
+
+// cacheKeyPart renders the normalized options canonically for hashing.
+func (o OptionsWire) cacheKeyPart() string {
+	o = o.Normalize()
+	return fmt.Sprintf("k=%d sound=%t unsound=%t multilooper=%t validate=%t budget=%d",
+		o.K, o.SkipSoundFilters, o.SkipUnsoundFilters, o.MultiLooper, o.Validate, o.MaxSchedules)
+}
+
+// AnalyzeRequest is the POST /v1/analyze body. Exactly one of App (a
+// corpus app name) or Dexasm (dexasm source text) must be set.
+type AnalyzeRequest struct {
+	App       string      `json:"app,omitempty"`
+	Dexasm    string      `json:"dexasm,omitempty"`
+	Options   OptionsWire `json:"options"`
+	TimeoutMS int64       `json:"timeout_ms,omitempty"`
+}
+
+// StatsWire is the filter-pipeline summary.
+type StatsWire struct {
+	Potential    int            `json:"potential"`
+	AfterSound   int            `json:"after_sound"`
+	AfterUnsound int            `json:"after_unsound"`
+	RemovedBy    map[string]int `json:"removed_by,omitempty"`
+}
+
+// WarningWire is one surviving warning with its §7 review aids.
+type WarningWire struct {
+	Field       string `json:"field"`
+	Use         string `json:"use"`
+	Free        string `json:"free"`
+	Category    string `json:"category"`
+	UseLineage  string `json:"use_lineage,omitempty"`
+	FreeLineage string `json:"free_lineage,omitempty"`
+}
+
+// TimingWire is the per-phase wall-clock split in milliseconds.
+type TimingWire struct {
+	ModelingMS   float64 `json:"modeling_ms"`
+	DetectionMS  float64 `json:"detection_ms"`
+	FilteringMS  float64 `json:"filtering_ms"`
+	ValidationMS float64 `json:"validation_ms,omitempty"`
+	TotalMS      float64 `json:"total_ms"`
+}
+
+// ResultWire is the full analysis report: the POST /v1/analyze response
+// body and the payload of a completed job.
+type ResultWire struct {
+	App      string        `json:"app"`
+	Stats    StatsWire     `json:"stats"`
+	Warnings []WarningWire `json:"warnings"`
+	// Harmful lists the dynamically confirmed subset (validate runs only).
+	Harmful []WarningWire `json:"harmful,omitempty"`
+	Timing  TimingWire    `json:"timing"`
+	// Cached is true when the result was served from the content cache.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// JobWire is the GET /v1/jobs/{id} response body.
+type JobWire struct {
+	ID     string      `json:"id"`
+	State  string      `json:"state"` // queued | running | done | failed | canceled
+	App    string      `json:"app,omitempty"`
+	Error  string      `json:"error,omitempty"`
+	Result *ResultWire `json:"result,omitempty"`
+}
+
+// AppWire is one GET /v1/apps corpus entry.
+type AppWire struct {
+	Name  string `json:"name"`
+	Group string `json:"group"`
+	// TrueHarmful is the seeded ground-truth bug count.
+	TrueHarmful int `json:"true_harmful"`
+}
+
+// ms converts a duration to fractional milliseconds.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// EncodeResult flattens an analysis result into the wire format.
+func EncodeResult(app string, res *nadroid.Result) *ResultWire {
+	out := &ResultWire{
+		App: app,
+		Stats: StatsWire{
+			Potential:    res.Stats.Potential,
+			AfterSound:   res.Stats.AfterSound,
+			AfterUnsound: res.Stats.AfterUnsound,
+		},
+		Warnings: []WarningWire{},
+		Timing: TimingWire{
+			ModelingMS:   ms(res.Timing.Modeling),
+			DetectionMS:  ms(res.Timing.Detection),
+			FilteringMS:  ms(res.Timing.Filtering),
+			ValidationMS: ms(res.Timing.Validation),
+			TotalMS:      ms(res.Timing.Total()),
+		},
+	}
+	if len(res.Stats.Removed) > 0 {
+		out.Stats.RemovedBy = make(map[string]int, len(res.Stats.Removed))
+		for k, v := range res.Stats.Removed {
+			out.Stats.RemovedBy[k] = v
+		}
+	}
+	byKey := make(map[string]WarningWire)
+	for _, e := range res.Report.Entries {
+		w := WarningWire{
+			Field:       e.Warning.Field.String(),
+			Use:         e.Warning.Use.String(),
+			Free:        e.Warning.Free.String(),
+			Category:    e.Category.String(),
+			UseLineage:  e.UseLineage,
+			FreeLineage: e.FreeLineage,
+		}
+		out.Warnings = append(out.Warnings, w)
+		byKey[e.Warning.Key()] = w
+	}
+	for _, h := range res.Harmful {
+		if w, ok := byKey[h.Key()]; ok {
+			out.Harmful = append(out.Harmful, w)
+		} else {
+			// A validated warning should always be a report entry, but
+			// degrade gracefully rather than drop it.
+			out.Harmful = append(out.Harmful, WarningWire{
+				Field: h.Field.String(), Use: h.Use.String(), Free: h.Free.String(),
+			})
+		}
+	}
+	return out
+}

@@ -24,6 +24,7 @@
 package nadroid
 
 import (
+	"context"
 	"time"
 
 	"nadroid/internal/apk"
@@ -85,10 +86,24 @@ type Result struct {
 	Timing Timing
 }
 
-// Analyze runs the full nAdroid pipeline on one application package.
+// Analyze runs the full nAdroid pipeline on one application package. It
+// is AnalyzeContext with a background context; callers that need
+// deadlines or cancellation should use AnalyzeContext directly.
 func Analyze(pkg *apk.Package, opts Options) (*Result, error) {
+	return AnalyzeContext(context.Background(), pkg, opts)
+}
+
+// AnalyzeContext runs the full nAdroid pipeline, honoring ctx between
+// the modeling, detection, filtering, and validation phases (and, per
+// schedule, inside validation — the only phase whose runtime is
+// open-ended). A canceled or expired context aborts the run with
+// ctx.Err(); no partial Result is returned.
+func AnalyzeContext(ctx context.Context, pkg *apk.Package, opts Options) (*Result, error) {
 	res := &Result{}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	model, err := threadify.Build(pkg, threadify.Options{K: opts.K})
 	if err != nil {
@@ -97,10 +112,16 @@ func Analyze(pkg *apk.Package, opts Options) (*Result, error) {
 	res.Model = model
 	res.Timing.Modeling = time.Since(start)
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	start = time.Now()
 	res.Detection = uaf.Detect(model)
 	res.Timing.Detection = time.Since(start)
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	start = time.Now()
 	res.Stats = runFilters(res.Detection, opts)
 	res.Timing.Filtering = time.Since(start)
@@ -108,8 +129,15 @@ func Analyze(pkg *apk.Package, opts Options) (*Result, error) {
 	res.Report = report.New(pkg.Name, res.Detection)
 
 	if opts.Validate {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		start = time.Now()
-		res.Harmful = explore.ValidateAll(pkg, res.Model, res.Detection.Alive(), opts.Explore)
+		harmful, err := explore.ValidateAllContext(ctx, pkg, res.Model, res.Detection.Alive(), opts.Explore)
+		if err != nil {
+			return nil, err
+		}
+		res.Harmful = harmful
 		res.Timing.Validation = time.Since(start)
 	}
 	return res, nil

@@ -1,0 +1,75 @@
+package nadroid_test
+
+import (
+	"testing"
+
+	"nadroid"
+	"nadroid/internal/corpus"
+)
+
+// TestRunFiltersOptionCombinations pins the filter-pipeline stage
+// counts on ConnectBot for every meaningful combination of the option
+// flags. The absolute numbers come from the seeded corpus (29 potential
+// warnings, 13 survivors — the paper's ConnectBot row); the relations
+// between rows are what the options contract promises.
+func TestRunFiltersOptionCombinations(t *testing.T) {
+	app, ok := corpus.ByName("ConnectBot")
+	if !ok {
+		t.Fatal("missing corpus app")
+	}
+	cases := []struct {
+		name                                 string
+		opts                                 nadroid.Options
+		potential, afterSound, afterUnsound int
+	}{
+		{"default", nadroid.Options{}, 29, 14, 13},
+		{"skip-sound", nadroid.Options{SkipSoundFilters: true}, 29, 29, 22},
+		{"skip-unsound", nadroid.Options{SkipUnsoundFilters: true}, 29, 14, 14},
+		{"skip-both", nadroid.Options{SkipSoundFilters: true, SkipUnsoundFilters: true}, 29, 29, 29},
+		{"multi-looper", nadroid.Options{MultiLooper: true}, 29, 25, 19},
+		{"multi-looper-sound-only", nadroid.Options{MultiLooper: true, SkipUnsoundFilters: true}, 29, 25, 25},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := nadroid.Analyze(app.Build(), tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := res.Stats
+			if st.Potential != tc.potential || st.AfterSound != tc.afterSound || st.AfterUnsound != tc.afterUnsound {
+				t.Errorf("stats = %d/%d/%d, want %d/%d/%d",
+					st.Potential, st.AfterSound, st.AfterUnsound,
+					tc.potential, tc.afterSound, tc.afterUnsound)
+			}
+			if tc.opts.SkipSoundFilters && st.AfterSound != st.Potential {
+				t.Error("skipping sound filters must leave the sound stage untouched")
+			}
+			if tc.opts.SkipUnsoundFilters && st.AfterUnsound != st.AfterSound {
+				t.Error("skipping unsound filters must leave the unsound stage untouched")
+			}
+			for name := range st.Removed {
+				if tc.opts.SkipSoundFilters && (name == "MHB" || name == "IG" || name == "IA") {
+					t.Errorf("sound filter %s ran despite SkipSoundFilters", name)
+				}
+				if tc.opts.SkipUnsoundFilters && name != "MHB" && name != "IG" && name != "IA" {
+					t.Errorf("unsound filter %s ran despite SkipUnsoundFilters", name)
+				}
+			}
+		})
+	}
+
+	// MultiLooper weakens the IG/IA atomicity assumption, so it can only
+	// keep more warnings through the sound stage than the default.
+	def, err := nadroid.Analyze(app.Build(), nadroid.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml, err := nadroid.Analyze(app.Build(), nadroid.Options{MultiLooper: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ml.Stats.AfterSound < def.Stats.AfterSound {
+		t.Errorf("multi-looper sound stage kept %d < default's %d",
+			ml.Stats.AfterSound, def.Stats.AfterSound)
+	}
+}
