@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-short race check serve
+.PHONY: build vet test test-short race bench check serve
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,13 @@ test-short:
 race:
 	$(GO) test -short -race ./...
 
-check: build vet race
+# bench sweeps every benchmark once (1x keeps the full-corpus pipeline
+# benchmarks tractable) and converts the output into BENCH_pr2.json:
+# per-phase medians, deep counters, and the traced-vs-untraced pair.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x . | $(GO) run ./cmd/benchjson -out BENCH_pr2.json
+
+check: build vet race bench
 
 serve: build
 	$(GO) run ./cmd/nadroid-serve

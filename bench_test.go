@@ -14,7 +14,10 @@
 package nadroid_test
 
 import (
+	"context"
+	"sort"
 	"testing"
+	"time"
 
 	"nadroid"
 	"nadroid/internal/corpus"
@@ -27,6 +30,7 @@ import (
 	"nadroid/internal/inject"
 	"nadroid/internal/interp"
 	"nadroid/internal/nosleep"
+	"nadroid/internal/obs"
 	"nadroid/internal/race"
 	"nadroid/internal/threadify"
 	"nadroid/internal/uaf"
@@ -145,6 +149,80 @@ func BenchmarkTable3DEvA(b *testing.B) {
 		b.ReportMetric(float64(filtered), "nadroid-filtered")
 		b.ReportMetric(float64(reported), "nadroid-reported")
 		b.ReportMetric(float64(notDetected), "nadroid-missed")
+	}
+}
+
+// BenchmarkAnalyze is the untraced full-pipeline reference on a
+// mid-sized app: the number BenchmarkAnalyzeTraced is compared against
+// to keep the observability layer's idle cost within a few percent.
+func BenchmarkAnalyze(b *testing.B) {
+	app, _ := corpus.ByName("Mms")
+	pkg := app.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nadroid.AnalyzeContext(context.Background(), pkg, nadroid.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeTraced runs the same pipeline with a span tracer and
+// counter set attached, measuring the instrumented-path cost.
+func BenchmarkAnalyzeTraced(b *testing.B) {
+	app, _ := corpus.ByName("Mms")
+	pkg := app.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := obs.WithTracer(context.Background(), obs.NewTracer())
+		ctx = obs.WithMetrics(ctx, obs.NewMetrics())
+		if _, err := nadroid.AnalyzeContext(ctx, pkg, nadroid.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelinePhases reports the §8.8 phase split as medians over
+// several instrumented runs, alongside the deep counter medians
+// (points-to iterations, datalog facts, schedules explored). With
+// -benchtime 1x this still yields medians: each iteration samples the
+// pipeline multiple times.
+func BenchmarkPipelinePhases(b *testing.B) {
+	const samples = 5
+	app, _ := corpus.ByName("Mms")
+	pkg := app.Build()
+	median := func(v []float64) float64 {
+		sort.Float64s(v)
+		return v[len(v)/2]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		phaseMS := map[string][]float64{}
+		counters := map[string][]float64{}
+		for s := 0; s < samples; s++ {
+			m := obs.NewMetrics()
+			ctx := obs.WithMetrics(context.Background(), m)
+			res, err := nadroid.AnalyzeContext(ctx, pkg, nadroid.Options{
+				Validate: true,
+				Explore:  explore.Options{MaxSchedules: 200},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+			phaseMS["modeling-ms"] = append(phaseMS["modeling-ms"], ms(res.Timing.Modeling))
+			phaseMS["detection-ms"] = append(phaseMS["detection-ms"], ms(res.Timing.Detection))
+			phaseMS["filtering-ms"] = append(phaseMS["filtering-ms"], ms(res.Timing.Filtering))
+			phaseMS["validation-ms"] = append(phaseMS["validation-ms"], ms(res.Timing.Validation))
+			for _, key := range []string{"pointsto_iterations", "datalog_facts", "explore_schedules_executed"} {
+				counters[key] = append(counters[key], float64(m.Get(key)))
+			}
+		}
+		for name, v := range phaseMS {
+			b.ReportMetric(median(v), name)
+		}
+		for name, v := range counters {
+			b.ReportMetric(median(v), name)
+		}
 	}
 }
 

@@ -1,0 +1,99 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON document: one record per benchmark line, carrying the iteration
+// count, ns/op, and every custom metric the benchmark reported
+// (b.ReportMetric units such as modeling-ms or schedules). The Makefile
+// bench target pipes the 1x sweep through it to produce BENCH_pr2.json.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x | benchjson -out BENCH_pr2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one parsed benchmark result line.
+type Record struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "", "write JSON here instead of stdout")
+	flag.Parse()
+
+	var records []Record
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			records = append(records, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("reading stdin: %v", err)
+	}
+
+	data, err := json.MarshalIndent(struct {
+		Benchmarks []Record `json:"benchmarks"`
+	}{records}, "", "  ")
+	if err != nil {
+		fatalf("encoding: %v", err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatalf("writing %s: %v", *out, err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(records), *out)
+}
+
+// parseLine handles the standard bench format:
+//
+//	BenchmarkFoo/sub-8   1   22012345 ns/op   12.50 modeling-ms   3 schedules
+//
+// Fields come in (value, unit) pairs after the iteration count.
+func parseLine(line string) (Record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Record{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Record{}, false
+	}
+	r := Record{Name: fields[0], Iters: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Record{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			r.NsPerOp = val
+			continue
+		}
+		if r.Metrics == nil {
+			r.Metrics = make(map[string]float64)
+		}
+		r.Metrics[unit] = val
+	}
+	return r, true
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}

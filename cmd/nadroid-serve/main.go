@@ -21,7 +21,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -33,35 +33,46 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8372", "listen address")
-		workers = flag.Int("workers", 4, "concurrent analysis workers")
-		queue   = flag.Int("queue", 64, "job queue depth (FIFO)")
-		cache   = flag.Int("cache", 256, "result cache capacity (entries, LRU)")
-		timeout = flag.Duration("timeout", 2*time.Minute, "default per-job deadline (0 disables)")
-		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+		addr      = flag.String("addr", ":8372", "listen address")
+		workers   = flag.Int("workers", 4, "concurrent analysis workers")
+		queue     = flag.Int("queue", 64, "job queue depth (FIFO)")
+		cache     = flag.Int("cache", 256, "result cache capacity (entries, LRU)")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "default per-job deadline (0 disables)")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+		pprofFlag = flag.Bool("pprof", false, "expose the Go profiler at /debug/pprof/ (do not enable on untrusted networks)")
+		logJSON   = flag.Bool("log-json", false, "emit logs as JSON lines instead of text")
 	)
 	flag.Parse()
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
 
 	srv := server.New(server.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheEntries:   *cache,
 		DefaultTimeout: *timeout,
+		EnablePprof:    *pprofFlag,
+		Logger:         logger,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("nadroid-serve listening on %s (%d workers, queue %d, cache %d)",
-		*addr, *workers, *queue, *cache)
+	logger.Info("listening", "addr", *addr, "workers", *workers, "queue", *queue,
+		"cache", *cache, "pprof", *pprofFlag)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
-		log.Fatalf("serve: %v", err)
+		logger.Error("serve failed", "error", err)
+		os.Exit(1)
 	case sig := <-sigc:
-		log.Printf("received %v; draining in-flight jobs (budget %v)", sig, *drain)
+		logger.Info("draining in-flight jobs", "signal", sig.String(), "budget", drain.String())
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
@@ -71,5 +82,5 @@ func main() {
 		fmt.Fprintf(os.Stderr, "nadroid-serve: drain incomplete: %v\n", err)
 		os.Exit(1)
 	}
-	log.Printf("drained; bye")
+	logger.Info("drained; bye")
 }

@@ -13,9 +13,11 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"nadroid"
@@ -27,6 +29,7 @@ import (
 	"nadroid/internal/explore"
 	"nadroid/internal/interp"
 	"nadroid/internal/nosleep"
+	"nadroid/internal/obs"
 	"nadroid/internal/server"
 )
 
@@ -45,6 +48,9 @@ func main() {
 		noSleep   = flag.Bool("nosleep", false, "also run the §9 no-sleep energy-bug detector")
 		devaMode  = flag.Bool("deva", false, "run the DEvA baseline instead of nAdroid")
 		dynMode   = flag.Bool("dynamic", false, "run the trace-based dynamic detector (one default-schedule execution)")
+		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON of the run to FILE (chrome://tracing)")
+		traceTree = flag.Bool("tracetree", false, "print the span tree to stderr after the run")
+		verbose   = flag.Bool("v", false, "structured phase logging to stderr")
 	)
 	flag.Parse()
 
@@ -85,7 +91,18 @@ func main() {
 		return
 	}
 
-	res, err := nadroid.Analyze(pkg, nadroid.Options{
+	ctx := context.Background()
+	var tracer *obs.Tracer
+	if *traceOut != "" || *traceTree {
+		tracer = obs.NewTracer()
+		ctx = obs.WithTracer(ctx, tracer)
+		ctx = obs.WithMetrics(ctx, obs.NewMetrics())
+	}
+	if *verbose {
+		ctx = obs.WithLogger(ctx, slog.New(slog.NewTextHandler(os.Stderr, nil)))
+	}
+
+	res, err := nadroid.AnalyzeContext(ctx, pkg, nadroid.Options{
 		K:                  *k,
 		SkipUnsoundFilters: *noUnsound,
 		Validate:           *validate,
@@ -93,6 +110,20 @@ func main() {
 	})
 	if err != nil {
 		fatalf("analyze: %v", err)
+	}
+
+	if *traceOut != "" {
+		data, err := tracer.ChromeTrace()
+		if err != nil {
+			fatalf("encoding trace: %v", err)
+		}
+		if err := os.WriteFile(*traceOut, data, 0o644); err != nil {
+			fatalf("writing trace: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "nadroid: wrote %d spans to %s\n", tracer.SpanCount(), *traceOut)
+	}
+	if *traceTree {
+		fmt.Fprint(os.Stderr, tracer.Tree())
 	}
 
 	if *jsonOut {

@@ -1,0 +1,48 @@
+// Package buildinfo surfaces what build of nadroid is running: the
+// module version and VCS revision baked in by the Go linker, the Go
+// toolchain version, and the analysis defaults callers most often need
+// to know when comparing results across deployments. /healthz and the
+// nadroid_build_info metric line are fed from here.
+package buildinfo
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// DefaultK is the points-to object-sensitivity depth used when a caller
+// does not set one — the paper's k=2 setting (§5). Exposed in build
+// info because two deployments with different defaults produce
+// different warning counts for the same request.
+const DefaultK = 2
+
+// Info describes the running build.
+type Info struct {
+	// Version is the main module version ("(devel)" for local builds).
+	Version string `json:"version"`
+	// Revision is the VCS commit, when stamped by the toolchain.
+	Revision string `json:"revision,omitempty"`
+	// GoVersion is the toolchain that compiled the binary.
+	GoVersion string `json:"go_version"`
+	// DefaultK is the analysis's default object-sensitivity depth.
+	DefaultK int `json:"k_default"`
+}
+
+// Get reads the build metadata once per call (ReadBuildInfo is cheap:
+// the data is baked into the binary).
+func Get() Info {
+	info := Info{Version: "(devel)", GoVersion: runtime.Version(), DefaultK: DefaultK}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			info.Revision = s.Value
+		}
+	}
+	return info
+}

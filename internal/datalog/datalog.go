@@ -31,7 +31,20 @@ type Engine struct {
 	symIdx   map[string]Sym
 	rels     map[string]*Relation
 	rules    []*Rule
+	stats    Stats
 }
+
+// Stats counts the work one engine did, for the telemetry layer: how
+// many base facts were asserted, how many tuples the rules derived, and
+// how many semi-naive iterations Run took to reach fixpoint.
+type Stats struct {
+	Facts      int // base tuples asserted via Fact/FactStrings
+	Derived    int // tuples emitted by rule evaluation
+	Iterations int // Run fixpoint rounds
+}
+
+// Stats returns the engine's work counters.
+func (e *Engine) Stats() Stats { return e.stats }
 
 // NewEngine returns an empty engine.
 func NewEngine() *Engine {
@@ -73,7 +86,9 @@ func (e *Engine) Relation(name string, arity int) *Relation {
 // Fact asserts a tuple into a relation, declaring it on first use.
 func (e *Engine) Fact(rel string, terms ...Sym) {
 	r := e.Relation(rel, len(terms))
-	r.insert(terms)
+	if r.insert(terms) {
+		e.stats.Facts++
+	}
 }
 
 // FactStrings asserts a tuple of string constants.
@@ -163,6 +178,7 @@ func (e *Engine) Run() {
 		delta[name] = d
 	}
 	for {
+		e.stats.Iterations++
 		next := make(map[string]map[string][]Sym)
 		for _, rule := range e.rules {
 			e.evalRule(rule, delta, next)
@@ -319,6 +335,7 @@ func (e *Engine) emit(rule *Rule, bind map[string]Sym, next map[string]map[strin
 	if _, exists := r.tuples[k]; exists {
 		return
 	}
+	e.stats.Derived++
 	r.tuples[k] = tuple
 	for col, idx := range r.index {
 		idx[tuple[col]] = append(idx[tuple[col]], tuple)
@@ -377,19 +394,20 @@ func (r *Relation) Arity() int { return r.arity }
 // Len returns the tuple count.
 func (r *Relation) Len() int { return len(r.tuples) }
 
-func (r *Relation) insert(t []Sym) {
+func (r *Relation) insert(t []Sym) bool {
 	if len(t) != r.arity {
 		panic(fmt.Sprintf("datalog: %s expects arity %d, got %d", r.name, r.arity, len(t)))
 	}
 	cp := append([]Sym(nil), t...)
 	k := key(cp)
 	if _, dup := r.tuples[k]; dup {
-		return
+		return false
 	}
 	r.tuples[k] = cp
 	for col, idx := range r.index {
 		idx[cp[col]] = append(idx[cp[col]], cp)
 	}
+	return true
 }
 
 // lookup returns the tuples whose col-th term equals sym, building the

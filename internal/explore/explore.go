@@ -16,6 +16,7 @@ import (
 
 	"nadroid/internal/apk"
 	"nadroid/internal/interp"
+	"nadroid/internal/obs"
 	"nadroid/internal/threadify"
 	"nadroid/internal/uaf"
 )
@@ -87,10 +88,20 @@ func FindNPEContext(ctx context.Context, pkg *apk.Package, opts Options, match f
 }
 
 // dfs runs the schedule-tree exploration for one branch policy.
-func dfs(ctx context.Context, pkg *apk.Package, iopts interp.Options, budget int, executions *int, match func(interp.NPE) bool, takeOpaque bool) (*Witness, bool, error) {
+func dfs(ctx context.Context, pkg *apk.Package, iopts interp.Options, budget int, executions *int, match func(interp.NPE) bool, takeOpaque bool) (wit *Witness, found bool, err error) {
 	type item struct{ schedule []int }
 	stack := []item{{nil}}
 	seen := map[string]bool{"": true}
+	// Counter deltas are accumulated locally and flushed once — a lock
+	// per executed schedule would be measurable on big budgets.
+	executed, pruned := 0, 0
+	defer func() {
+		obs.Add(ctx, "explore_schedules_executed", int64(executed))
+		obs.Add(ctx, "explore_schedules_pruned", int64(pruned))
+		if found {
+			obs.Add(ctx, "explore_witnesses", 1)
+		}
+	}()
 	for len(stack) > 0 && budget > 0 {
 		if err := ctx.Err(); err != nil {
 			return nil, false, err
@@ -99,9 +110,12 @@ func dfs(ctx context.Context, pkg *apk.Package, iopts interp.Options, budget int
 		stack = stack[:len(stack)-1]
 		budget--
 		*executions++
+		executed++
 
+		_, span := obs.Start(ctx, "schedule", obs.KV("depth", len(it.schedule)))
 		w := interp.NewWorld(pkg, iopts)
 		info := interp.Run(w, it.schedule)
+		span.End()
 		for _, npe := range w.NPEs() {
 			if match(npe) {
 				return &Witness{
@@ -126,6 +140,8 @@ func dfs(ctx context.Context, pkg *apk.Package, iopts interp.Options, budget int
 				if !seen[key] {
 					seen[key] = true
 					stack = append(stack, item{next})
+				} else {
+					pruned++
 				}
 			}
 		}
@@ -243,12 +259,22 @@ func ValidateAll(pkg *apk.Package, model *threadify.Model, warnings []*uaf.Warni
 func ValidateAllContext(ctx context.Context, pkg *apk.Package, model *threadify.Model, warnings []*uaf.Warning, opts Options) ([]*uaf.Warning, error) {
 	var out []*uaf.Warning
 	for _, w := range warnings {
-		_, ok, err := ValidateWarningContext(ctx, pkg, model, w, opts)
+		wctx, span := obs.Start(ctx, "validate",
+			obs.KV("field", w.Field.String()), obs.KV("use", w.Use.String()), obs.KV("free", w.Free.String()))
+		wit, ok, err := ValidateWarningContext(wctx, pkg, model, w, opts)
+		span.SetAttr("harmful", ok)
+		if wit != nil {
+			span.SetAttr("executions", wit.Executions)
+		}
+		span.End()
 		if err != nil {
 			return out, err
 		}
 		if ok {
 			out = append(out, w)
+			obs.Logger(ctx).Info("warning validated harmful",
+				"field", w.Field.String(), "use", w.Use.String(), "free", w.Free.String(),
+				"executions", wit.Executions)
 		}
 	}
 	return out, nil

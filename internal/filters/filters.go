@@ -7,6 +7,7 @@
 package filters
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -14,6 +15,7 @@ import (
 	"nadroid/internal/hb"
 	"nadroid/internal/ir"
 	"nadroid/internal/lockset"
+	"nadroid/internal/obs"
 	"nadroid/internal/pointsto"
 	"nadroid/internal/race"
 	"nadroid/internal/threadify"
@@ -233,27 +235,63 @@ type Stats struct {
 	Removed map[string]int
 }
 
+// RunConfig selects which filter passes RunWith applies.
+type RunConfig struct {
+	Options
+	// SkipSound disables the §6.1 pass.
+	SkipSound bool
+	// SkipUnsound disables the §6.2 pass.
+	SkipUnsound bool
+}
+
 // Run applies the sound filters then the unsound filters in sequence,
 // mutating the detection's warnings.
 func Run(d *uaf.Detection) *Stats {
-	ctx := NewContext(d)
+	return RunWith(context.Background(), d, RunConfig{})
+}
+
+// RunWith is the instrumented filter pipeline: the shared filter
+// context (MHB graph + lock sets) and every individual filter run in
+// their own spans, and each filter reports warnings examined, thread
+// pairs removed, and warnings killed as per-filter pipeline counters.
+func RunWith(octx context.Context, d *uaf.Detection, cfg RunConfig) *Stats {
+	_, span := obs.Start(octx, "filters.context")
+	ctx := NewContextWith(d, cfg.Options)
+	span.End()
+
 	st := &Stats{Potential: d.AliveCount(), Removed: make(map[string]int)}
 	apply := func(fs []Filter) {
 		for _, f := range fs {
+			_, fspan := obs.Start(octx, "filter:"+f.Name(), obs.KV("sound", f.Sound()))
+			examined, pairsRemoved, killed := 0, 0, 0
 			for _, w := range d.Warnings {
 				if !w.Alive() {
 					continue
 				}
-				f.Apply(ctx, w)
+				examined++
+				pairsRemoved += f.Apply(ctx, w)
 				if !w.Alive() {
+					killed++
 					st.Removed[f.Name()]++
 				}
 			}
+			fspan.SetAttr("examined", examined)
+			fspan.SetAttr("pairs_removed", pairsRemoved)
+			fspan.SetAttr("warnings_removed", killed)
+			fspan.End()
+			label := fmt.Sprintf("{filter=%q}", f.Name())
+			obs.Add(octx, "filter_examined"+label, int64(examined))
+			obs.Add(octx, "filter_pairs_removed"+label, int64(pairsRemoved))
+			obs.Add(octx, "filter_warnings_removed"+label, int64(killed))
 		}
 	}
-	apply(SoundFilters())
+	if !cfg.SkipSound {
+		apply(SoundFilters())
+	}
 	st.AfterSound = d.AliveCount()
-	apply(UnsoundFilters())
+	if !cfg.SkipUnsound {
+		apply(UnsoundFilters())
+	}
 	st.AfterUnsound = d.AliveCount()
 	return st
 }

@@ -1,0 +1,136 @@
+// export.go renders a tracer's span forest for humans and tools: a
+// Chrome trace_event JSON file (open in chrome://tracing or Perfetto),
+// a JSON span tree (the GET /v1/jobs/{id}/trace payload), and an
+// indented plain-text tree for terminals.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// SpanNode is the JSON tree form of a span.
+type SpanNode struct {
+	Name     string            `json:"name"`
+	StartUS  int64             `json:"start_us"`
+	DurUS    int64             `json:"dur_us"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []*SpanNode       `json:"children,omitempty"`
+}
+
+// Nodes converts the recorded forest into SpanNodes. Start times are
+// relative to the earliest recorded span so traces are stable across
+// runs.
+func (t *Tracer) Nodes() []*SpanNode {
+	roots := t.Roots()
+	base := time.Time{}
+	for _, r := range roots {
+		if base.IsZero() || r.start.Before(base) {
+			base = r.start
+		}
+	}
+	out := make([]*SpanNode, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, nodeOf(r, base))
+	}
+	return out
+}
+
+func nodeOf(s *Span, base time.Time) *SpanNode {
+	n := &SpanNode{
+		Name:    s.Name(),
+		StartUS: s.startTime().Sub(base).Microseconds(),
+		DurUS:   s.Duration().Microseconds(),
+	}
+	if attrs := s.Attrs(); len(attrs) > 0 {
+		n.Attrs = make(map[string]string, len(attrs))
+		for _, a := range attrs {
+			n.Attrs[a.Key] = fmt.Sprint(a.Val)
+		}
+	}
+	for _, c := range s.Children() {
+		n.Children = append(n.Children, nodeOf(c, base))
+	}
+	return n
+}
+
+func (s *Span) startTime() time.Time {
+	s.tracer.mu.Lock()
+	defer s.tracer.mu.Unlock()
+	return s.start
+}
+
+// chromeEvent is one trace_event entry (the "X" complete-event form).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	TS   int64             `json:"ts"`  // microseconds
+	Dur  int64             `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTrace serializes the forest as Chrome trace_event JSON.
+func (t *Tracer) ChromeTrace() ([]byte, error) {
+	var events []chromeEvent
+	var walk func(n *SpanNode)
+	walk = func(n *SpanNode) {
+		events = append(events, chromeEvent{
+			Name: n.Name, Ph: "X", TS: n.StartUS, Dur: n.DurUS,
+			PID: 1, TID: 1, Args: n.Attrs,
+		})
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range t.Nodes() {
+		walk(r)
+	}
+	return json.MarshalIndent(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"}, "", " ")
+}
+
+// Tree renders the forest as an indented plain-text tree, one span per
+// line: name, duration, attributes.
+func (t *Tracer) Tree() string {
+	var b strings.Builder
+	var walk func(n *SpanNode, depth int)
+	walk = func(n *SpanNode, depth int) {
+		fmt.Fprintf(&b, "%s%s %.3fms", strings.Repeat("  ", depth), n.Name, float64(n.DurUS)/1000)
+		if len(n.Attrs) > 0 {
+			keys := make([]string, 0, len(n.Attrs))
+			for k := range n.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&b, " %s=%s", k, n.Attrs[k])
+			}
+		}
+		b.WriteByte('\n')
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range t.Nodes() {
+		walk(r, 0)
+	}
+	if d := t.Dropped(); d > 0 {
+		fmt.Fprintf(&b, "(+%d spans dropped over the %d-span budget)\n", d, t.limitNow())
+	}
+	return b.String()
+}
+
+func (t *Tracer) limitNow() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.limit
+}

@@ -1,0 +1,34 @@
+// log.go carries a *slog.Logger through the context so the pipeline can
+// emit structured phase logs with the job/request IDs the server (or
+// CLI) stamped on the logger. With no logger attached, Logger returns a
+// shared no-op logger whose handler reports Enabled=false, so call
+// sites never pay for formatting.
+package obs
+
+import (
+	"context"
+	"log/slog"
+)
+
+// WithLogger attaches a logger to the context.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, loggerKey, l)
+}
+
+// Logger returns the attached logger, or a no-op logger.
+func Logger(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(loggerKey).(*slog.Logger); ok && l != nil {
+		return l
+	}
+	return nopLogger
+}
+
+var nopLogger = slog.New(discardHandler{})
+
+// discardHandler drops every record before it is formatted.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }

@@ -11,12 +11,14 @@
 package pointsto
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"nadroid/internal/cha"
 	"nadroid/internal/ir"
+	"nadroid/internal/obs"
 )
 
 // ObjID identifies an abstract heap object (allocation site + context).
@@ -126,6 +128,8 @@ type Result struct {
 	// spawnEdges records resolved thread-spawn sites.
 	spawnEdges []SpawnEdge
 	spawnSeen  map[SpawnEdge]bool
+	// iterations is the worklist items drained by the solve.
+	iterations int
 }
 
 type objSet map[ObjID]struct{}
@@ -206,6 +210,27 @@ func Solve(h *cha.Hierarchy, entries []Entry, opts Options) *Result {
 	return SolveWithSynthetics(h, nil, entries, opts)
 }
 
+// SolveStats summarizes the work a solve did.
+type SolveStats struct {
+	// Iterations is the number of worklist items drained to fixpoint.
+	Iterations int
+	// VarFacts is the total points-to tuple count over all variables.
+	VarFacts int
+	// Objects is the abstract-object count (synthetics included).
+	Objects int
+	// MCtxs is the number of analyzed method contexts.
+	MCtxs int
+}
+
+// Stats recomputes the solve summary from the result (O(vars)).
+func (r *Result) Stats() SolveStats {
+	st := SolveStats{Iterations: r.iterations, Objects: len(r.objs), MCtxs: len(r.mctxs)}
+	for _, set := range r.varPts {
+		st.VarFacts += len(set)
+	}
+	return st
+}
+
 // internObj interns an abstract object, returning its stable id.
 func (r *Result) internObj(o Obj, s *solver) ObjID {
 	if id, ok := s.objIdx[o]; ok {
@@ -222,6 +247,29 @@ func (r *Result) internObj(o Obj, s *solver) ObjID {
 // receivers (component instances "allocated by the framework") before
 // the solve.
 func SolveWithSynthetics(h *cha.Hierarchy, synths []Obj, entries []Entry, opts Options) *Result {
+	return SolveWithSyntheticsContext(context.Background(), h, synths, entries, opts)
+}
+
+// SolveWithSyntheticsContext is SolveWithSynthetics under an
+// observability context: the solve runs inside a "pointsto.solve" span
+// and reports iteration/fact/object counts as pipeline counters.
+func SolveWithSyntheticsContext(ctx context.Context, h *cha.Hierarchy, synths []Obj, entries []Entry, opts Options) *Result {
+	_, span := obs.Start(ctx, "pointsto.solve", obs.KV("k", opts.K), obs.KV("entries", len(entries)))
+	res := solveWithSynthetics(h, synths, entries, opts)
+	st := res.Stats()
+	span.SetAttr("iterations", st.Iterations)
+	span.SetAttr("var_facts", st.VarFacts)
+	span.SetAttr("objects", st.Objects)
+	span.SetAttr("mctxs", st.MCtxs)
+	span.End()
+	obs.Add(ctx, "pointsto_iterations", int64(st.Iterations))
+	obs.Add(ctx, "pointsto_var_facts", int64(st.VarFacts))
+	obs.Add(ctx, "pointsto_objects", int64(st.Objects))
+	obs.Add(ctx, "pointsto_mctxs", int64(st.MCtxs))
+	return res
+}
+
+func solveWithSynthetics(h *cha.Hierarchy, synths []Obj, entries []Entry, opts Options) *Result {
 	if opts.K < 1 {
 		opts.K = 2
 	}
@@ -562,6 +610,7 @@ func (s *solver) retrigger(v varKey) {
 // run drains the worklist to fixpoint.
 func (s *solver) run() {
 	for len(s.work) > 0 {
+		s.res.iterations++
 		v := s.work[len(s.work)-1]
 		s.work = s.work[:len(s.work)-1]
 		d := s.delta[v]

@@ -11,12 +11,14 @@
 package race
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"nadroid/internal/datalog"
 	"nadroid/internal/escape"
 	"nadroid/internal/ir"
+	"nadroid/internal/obs"
 	"nadroid/internal/pointsto"
 	"nadroid/internal/threadify"
 )
@@ -165,9 +167,29 @@ func canonicalField(m *threadify.Model, ref ir.FieldRef) ir.FieldRef {
 // Detect runs the full pipeline: collect accesses, escape analysis, and
 // the Datalog race derivation.
 func Detect(m *threadify.Model, opts Options) *Result {
+	return DetectContext(context.Background(), m, opts)
+}
+
+// DetectContext is Detect under an observability context: each stage
+// runs in its own span (access collection, escape analysis, the Datalog
+// pairing) and contributes pipeline counters.
+func DetectContext(ctx context.Context, m *threadify.Model, opts Options) *Result {
+	_, span := obs.Start(ctx, "race.collect-accesses")
 	accesses := CollectAccesses(m)
+	span.SetAttr("accesses", len(accesses))
+	span.End()
+
+	_, span = obs.Start(ctx, "escape.analyze")
 	esc := escape.Analyze(m)
-	pairs := DetectPairs(m, accesses, esc, opts)
+	span.End()
+
+	pctx, span := obs.Start(ctx, "race.pair")
+	pairs := DetectPairsContext(pctx, m, accesses, esc, opts)
+	span.SetAttr("pairs", len(pairs))
+	span.End()
+
+	obs.Add(ctx, "race_accesses", int64(len(accesses)))
+	obs.Add(ctx, "race_pairs", int64(len(pairs)))
 	return &Result{Accesses: accesses, Pairs: pairs, Escape: esc}
 }
 
@@ -177,6 +199,12 @@ func Detect(m *threadify.Model, opts Options) *Result {
 //	Racy(a, b) :- RdAcc(a, t1, f, h), WrAcc(b, t2, f, h), t1 != t2, Esc(h)
 //	Racy(a, b) :- WrAcc(a, t1, f, h), WrAcc(b, t2, f, h), t1 != t2, Esc(h)
 func DetectPairs(m *threadify.Model, accesses []Access, esc *escape.Result, opts Options) []Pair {
+	return DetectPairsContext(context.Background(), m, accesses, esc, opts)
+}
+
+// DetectPairsContext is DetectPairs with Datalog engine telemetry
+// (fact/derived-tuple/iteration counters) reported through ctx.
+func DetectPairsContext(ctx context.Context, m *threadify.Model, accesses []Access, esc *escape.Result, opts Options) []Pair {
 	e := datalog.NewEngine()
 	accSym := func(id int) datalog.Sym { return e.Sym(fmt.Sprintf("a%d", id)) }
 	thrSym := func(t int) datalog.Sym { return e.Sym(fmt.Sprintf("t%d", t)) }
@@ -228,6 +256,10 @@ func DetectPairs(m *threadify.Model, accesses []Access, esc *escape.Result, opts
 		e.MustRule("Racy(a, b) :- WrAcc(a, t1, f, h), WrAcc(b, t2, f, h), t1 != t2, Esc(h)")
 	}
 	e.Run()
+	st := e.Stats()
+	obs.Add(ctx, "datalog_facts", int64(st.Facts))
+	obs.Add(ctx, "datalog_derived", int64(st.Derived))
+	obs.Add(ctx, "datalog_iterations", int64(st.Iterations))
 
 	var pairs []Pair
 	for _, row := range e.Query("Racy", datalog.Wild, datalog.Wild) {

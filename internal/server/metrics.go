@@ -1,16 +1,23 @@
 // metrics.go keeps the service's observable state: monotonic job
 // counters, gauges for queue/worker occupancy, the cache hit/miss pair,
-// and per-phase latency histograms fed from Result.Timing. Rendering is
-// a plain-text format (name value per line, histograms as cumulative
-// le-buckets) that scrapers and humans can both read.
+// per-phase latency histograms fed from Result.Timing, and the deep
+// pipeline counters (points-to iterations, datalog facts, per-filter
+// removals, schedules explored, …) merged in from every finished job's
+// obs.Metrics. Rendering is a Prometheus-parseable plain-text format:
+// every line is `name value` or `name{labels} value`, histogram buckets
+// carry numeric-millisecond le labels, and output order is stable.
 package server
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"nadroid/internal/buildinfo"
 )
 
 // histBounds are the histogram bucket upper bounds. Detection dominates
@@ -55,11 +62,25 @@ type Metrics struct {
 	running      int // currently executing
 
 	phases map[string]*histogram
+	// pipeline accumulates the per-job obs counter snapshots. Keys are
+	// already metric-shaped (`name` or `name{label="v"}`) and are exported
+	// under the nadroid_pipeline_ prefix.
+	pipeline map[string]int64
 }
 
 // NewMetrics builds an empty metric set.
 func NewMetrics() *Metrics {
-	return &Metrics{phases: make(map[string]*histogram)}
+	return &Metrics{phases: make(map[string]*histogram), pipeline: make(map[string]int64)}
+}
+
+// MergePipeline folds one job's deep pipeline counters into the
+// service totals.
+func (m *Metrics) MergePipeline(snap map[string]int64) {
+	m.mu.Lock()
+	for k, v := range snap {
+		m.pipeline[k] += v
+	}
+	m.mu.Unlock()
 }
 
 // JobQueued / JobStarted / JobFinished track the queue and worker gauges.
@@ -130,13 +151,22 @@ func (m *Metrics) Counters() Snapshot {
 	}
 }
 
-// Render writes the plain-text exposition, cache counters included.
+// Render writes the plain-text exposition: build info, job/cache
+// counters, phase histograms, deep pipeline counters, and Go runtime
+// gauges. Output order is stable across calls.
 func (m *Metrics) Render(cache *Cache) string {
 	hits, misses := cache.Counters()
+	bi := buildinfo.Get()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	goroutines := runtime.NumGoroutine()
+
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
 	var b strings.Builder
+	fmt.Fprintf(&b, "nadroid_build_info{version=%q,revision=%q,go=%q,k_default=\"%d\"} 1\n",
+		bi.Version, bi.Revision, bi.GoVersion, bi.DefaultK)
 	fmt.Fprintf(&b, "nadroid_jobs_queued_total %d\n", m.jobsQueued)
 	fmt.Fprintf(&b, "nadroid_jobs_done_total %d\n", m.jobsDone)
 	fmt.Fprintf(&b, "nadroid_jobs_failed_total %d\n", m.jobsFailed)
@@ -157,12 +187,33 @@ func (m *Metrics) Render(cache *Cache) string {
 		cum := uint64(0)
 		for i, bound := range histBounds {
 			cum += h.counts[i]
-			fmt.Fprintf(&b, "nadroid_phase_latency_bucket{phase=%q,le=%q} %d\n", p, bound, cum)
+			fmt.Fprintf(&b, "nadroid_phase_latency_bucket{phase=%q,le=%q} %d\n", p, leLabel(bound), cum)
 		}
 		cum += h.counts[len(histBounds)]
 		fmt.Fprintf(&b, "nadroid_phase_latency_bucket{phase=%q,le=\"+Inf\"} %d\n", p, cum)
 		fmt.Fprintf(&b, "nadroid_phase_latency_sum_ms{phase=%q} %.3f\n", p, float64(h.sum)/float64(time.Millisecond))
 		fmt.Fprintf(&b, "nadroid_phase_latency_count{phase=%q} %d\n", p, h.total)
 	}
+
+	keys := make([]string, 0, len(m.pipeline))
+	for k := range m.pipeline {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "nadroid_pipeline_%s %d\n", k, m.pipeline[k])
+	}
+
+	fmt.Fprintf(&b, "nadroid_go_goroutines %d\n", goroutines)
+	fmt.Fprintf(&b, "nadroid_go_heap_alloc_bytes %d\n", ms.HeapAlloc)
+	fmt.Fprintf(&b, "nadroid_go_heap_objects %d\n", ms.HeapObjects)
+	fmt.Fprintf(&b, "nadroid_go_gc_cycles_total %d\n", ms.NumGC)
 	return b.String()
+}
+
+// leLabel renders a histogram bound as numeric milliseconds ("1", "10",
+// …, "60000") — duration strings like "1ms" are not parseable by
+// Prometheus-style scrapers.
+func leLabel(bound time.Duration) string {
+	return strconv.FormatFloat(float64(bound)/float64(time.Millisecond), 'f', -1, 64)
 }

@@ -10,8 +10,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
+
+	"nadroid/internal/obs"
 )
 
 // Job states.
@@ -43,6 +46,11 @@ type Job struct {
 	result   *ResultWire
 	cancel   context.CancelFunc
 	canceled bool // cancel was requested (distinguishes cancel from deadline)
+	// trace captures the job's span tree; pipeline its deep counters.
+	// Both are set when the job starts running and are safe to export
+	// once done is closed.
+	trace    *obs.Tracer
+	pipeline *obs.Metrics
 
 	done chan struct{}
 }
@@ -59,6 +67,20 @@ func (j *Job) Status() JobWire {
 		w.Error = j.err.Error()
 	}
 	return w
+}
+
+// Trace returns the job's recorded span tree. ok is false until the
+// job reaches a terminal state (a half-built tree would render spans
+// with garbage durations).
+func (j *Job) Trace() (*obs.Tracer, bool) {
+	select {
+	case <-j.done:
+	default:
+		return nil, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.trace, j.trace != nil
 }
 
 // Cancel requests cancellation: a queued job is terminally canceled in
@@ -84,6 +106,7 @@ func (j *Job) Cancel() {
 // Pool runs jobs with a fixed worker count and a bounded FIFO queue.
 type Pool struct {
 	metrics *Metrics
+	logger  *slog.Logger
 	queue   chan *Job
 	wg      sync.WaitGroup
 
@@ -106,6 +129,7 @@ func NewPool(workers, queueDepth int, metrics *Metrics) *Pool {
 	ctx, cancel := context.WithCancel(context.Background())
 	p := &Pool{
 		metrics: metrics,
+		logger:  obs.Logger(context.Background()), // no-op until SetLogger
 		queue:   make(chan *Job, queueDepth),
 		jobs:    make(map[string]*Job),
 		baseCtx: ctx,
@@ -116,6 +140,14 @@ func NewPool(workers, queueDepth int, metrics *Metrics) *Pool {
 		go p.worker()
 	}
 	return p
+}
+
+// SetLogger installs the structured logger used for job lifecycle
+// events. Call before the first Submit.
+func (p *Pool) SetLogger(l *slog.Logger) {
+	if l != nil {
+		p.logger = l
+	}
 }
 
 // Submit enqueues an analysis; timeout <= 0 means no per-job deadline.
@@ -178,11 +210,25 @@ func (p *Pool) runJob(j *Job) {
 	if j.timeout > 0 {
 		ctx, cancel = context.WithTimeout(p.baseCtx, j.timeout)
 	}
+	// Every job gets its own span tracer and counter set, plus a logger
+	// stamped with the job/app identity, all carried down the pipeline
+	// through the context.
+	tracer := obs.NewTracer()
+	pipeline := obs.NewMetrics()
+	logger := p.logger.With("job", j.ID, "app", j.App)
+	ctx = obs.WithTracer(ctx, tracer)
+	ctx = obs.WithMetrics(ctx, pipeline)
+	ctx = obs.WithLogger(ctx, logger)
+
 	j.state = StateRunning
 	j.cancel = cancel
+	j.trace = tracer
+	j.pipeline = pipeline
 	j.mu.Unlock()
 	p.metrics.JobStarted()
+	logger.Info("job started")
 
+	started := time.Now()
 	res, err := j.run(ctx)
 	cancel()
 
@@ -201,6 +247,13 @@ func (p *Pool) runJob(j *Job) {
 	close(j.done)
 	j.mu.Unlock()
 	p.metrics.JobFinished(state)
+	p.metrics.MergePipeline(pipeline.Snapshot())
+	if err != nil {
+		logger.Warn("job finished", "state", state, "ms", time.Since(started).Milliseconds(), "error", err)
+	} else {
+		logger.Info("job finished", "state", state, "ms", time.Since(started).Milliseconds(),
+			"spans", tracer.SpanCount())
+	}
 }
 
 // Shutdown stops intake and waits for queued + running jobs to finish.

@@ -8,12 +8,14 @@
 //
 // Endpoints:
 //
-//	POST   /v1/analyze        analyze (sync; ?async=true returns a job ID)
-//	GET    /v1/jobs/{id}      job status + result
-//	DELETE /v1/jobs/{id}      cancel a queued or running job
-//	GET    /v1/apps           corpus listing
-//	GET    /healthz           liveness
-//	GET    /metrics           plain-text counters + phase histograms
+//	POST   /v1/analyze          analyze (sync; ?async=true returns a job ID)
+//	GET    /v1/jobs/{id}        job status + result
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/jobs/{id}/trace  span tree of a finished job (?format=chrome)
+//	GET    /v1/apps             corpus listing
+//	GET    /healthz             liveness + build info JSON
+//	GET    /metrics             plain-text counters, histograms, pipeline families
+//	GET    /debug/pprof/*       Go profiler (only with Config.EnablePprof)
 package server
 
 import (
@@ -21,14 +23,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"time"
 
 	"nadroid"
 	"nadroid/internal/apk"
+	"nadroid/internal/buildinfo"
 	"nadroid/internal/corpus"
 	"nadroid/internal/dexasm"
+	"nadroid/internal/obs"
 )
 
 // Config sizes the service.
@@ -44,6 +50,13 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxDexasmBytes bounds the request body (default 8 MiB).
 	MaxDexasmBytes int64
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: the profiler exposes stack traces and should not face
+	// untrusted traffic.
+	EnablePprof bool
+	// Logger receives structured job lifecycle logs (job id, app, phase
+	// timings). Nil means no logging.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -80,12 +93,22 @@ func New(cfg Config) *Server {
 		metrics: NewMetrics(),
 	}
 	s.pool = NewPool(cfg.Workers, cfg.QueueDepth, s.metrics)
+	if cfg.Logger != nil {
+		s.pool.SetLogger(cfg.Logger)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("/v1/jobs/", s.handleJob)
 	s.mux.HandleFunc("/v1/apps", s.handleApps)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -214,13 +237,18 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
-	if id == "" || strings.Contains(id, "/") {
+	id, sub, _ := strings.Cut(id, "/")
+	if id == "" || (sub != "" && sub != "trace") {
 		writeError(w, http.StatusNotFound, "job id required")
 		return
 	}
 	job, ok := s.pool.Job(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	if sub == "trace" {
+		s.handleJobTrace(w, r, job)
 		return
 	}
 	switch r.Method {
@@ -232,6 +260,37 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusMethodNotAllowed, "GET or DELETE required")
 	}
+}
+
+// handleJobTrace serves a finished job's span tree: a nested
+// obs.SpanNode JSON document by default, or a Chrome trace_event file
+// with ?format=chrome (load it in chrome://tracing or Perfetto).
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request, job *Job) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	tr, ok := job.Trace()
+	if !ok {
+		writeError(w, http.StatusNotFound, "trace for job %q not available until the job finishes", job.ID)
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		data, err := tr.ChromeTrace()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "encoding trace: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(data)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Job     string          `json:"job"`
+		Spans   int             `json:"spans"`
+		Dropped int             `json:"dropped,omitempty"`
+		Roots   []*obs.SpanNode `json:"roots"`
+	}{Job: job.ID, Spans: tr.SpanCount(), Dropped: tr.Dropped(), Roots: tr.Nodes()})
 }
 
 func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
@@ -247,8 +306,12 @@ func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	bi := buildinfo.Get()
+	writeJSON(w, http.StatusOK, struct {
+		Status  string `json:"status"`
+		Workers int    `json:"workers"`
+		buildinfo.Info
+	}{Status: "ok", Workers: s.cfg.Workers, Info: bi})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

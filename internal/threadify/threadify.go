@@ -19,6 +19,7 @@
 package threadify
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -28,6 +29,7 @@ import (
 	"nadroid/internal/framework"
 	"nadroid/internal/ir"
 	"nadroid/internal/manifest"
+	"nadroid/internal/obs"
 	"nadroid/internal/pointsto"
 )
 
@@ -158,6 +160,13 @@ func tagPostKind(tag int) framework.PostKind {
 // Build threadifies the package: discovers entry callbacks, runs the
 // points-to solve with spawn discovery, and assembles the thread forest.
 func Build(pkg *apk.Package, opts Options) (*Model, error) {
+	return BuildContext(context.Background(), pkg, opts)
+}
+
+// BuildContext is Build under an observability context: the points-to
+// solve and thread attachment run in their own spans, and the modeled
+// thread / spawn-edge counts land in the pipeline counters.
+func BuildContext(ctx context.Context, pkg *apk.Package, opts Options) (*Model, error) {
 	if opts.K <= 0 {
 		opts.K = 2
 	}
@@ -211,7 +220,7 @@ func Build(pkg *apk.Package, opts Options) (*Model, error) {
 		}
 		entries = append(entries, pointsto.Entry{Method: m, Receivers: []pointsto.ObjID{s.mctx.Recv}})
 	}
-	pts := pointsto.SolveWithSynthetics(h, synths, entries, pointsto.Options{
+	pts := pointsto.SolveWithSyntheticsContext(ctx, h, synths, entries, pointsto.Options{
 		K:       opts.K,
 		Spawner: oracle.classify,
 		Factory: oracle.factory,
@@ -242,9 +251,15 @@ func Build(pkg *apk.Package, opts Options) (*Model, error) {
 		})
 	}
 
-	if err := m.attachSpawnedThreads(opts.MaxThreads); err != nil {
+	_, span := obs.Start(ctx, "threadify.attach")
+	err := m.attachSpawnedThreads(opts.MaxThreads)
+	span.SetAttr("threads", len(m.Threads))
+	span.End()
+	if err != nil {
 		return nil, err
 	}
+	obs.Add(ctx, "threads_modeled", int64(len(m.Threads)))
+	obs.Add(ctx, "spawn_edges", int64(len(pts.SpawnEdges())))
 	return m, nil
 }
 

@@ -6,10 +6,12 @@
 package uaf
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"nadroid/internal/ir"
+	"nadroid/internal/obs"
 	"nadroid/internal/pointsto"
 	"nadroid/internal/race"
 	"nadroid/internal/threadify"
@@ -78,8 +80,26 @@ func (d *Detection) AccessFor(id int) race.Access { return d.accByID[id] }
 // Detect runs race detection restricted to use/free pairs and groups the
 // racy pairs into warnings keyed by (field, use instr, free instr).
 func Detect(m *threadify.Model) *Detection {
-	rr := race.Detect(m, race.Options{UseFreeOnly: true})
-	return Group(m, rr)
+	return DetectContext(context.Background(), m)
+}
+
+// DetectContext is Detect under an observability context: race
+// detection and warning grouping run in their own spans, and the racy
+// pair / warning counts land in the pipeline counters.
+func DetectContext(ctx context.Context, m *threadify.Model) *Detection {
+	rr := race.DetectContext(ctx, m, race.Options{UseFreeOnly: true})
+	_, span := obs.Start(ctx, "uaf.group")
+	d := Group(m, rr)
+	pairs := 0
+	for _, w := range d.Warnings {
+		pairs += len(w.Pairs)
+	}
+	span.SetAttr("warnings", len(d.Warnings))
+	span.SetAttr("thread_pairs", pairs)
+	span.End()
+	obs.Add(ctx, "uaf_warnings", int64(len(d.Warnings)))
+	obs.Add(ctx, "uaf_thread_pairs", int64(pairs))
+	return d
 }
 
 // Group assembles warnings from a race result.

@@ -30,6 +30,7 @@ import (
 	"nadroid/internal/apk"
 	"nadroid/internal/explore"
 	"nadroid/internal/filters"
+	"nadroid/internal/obs"
 	"nadroid/internal/report"
 	"nadroid/internal/threadify"
 	"nadroid/internal/uaf"
@@ -98,74 +99,78 @@ func Analyze(pkg *apk.Package, opts Options) (*Result, error) {
 // schedule, inside validation — the only phase whose runtime is
 // open-ended). A canceled or expired context aborts the run with
 // ctx.Err(); no partial Result is returned.
+//
+// ctx also carries the observability collectors (internal/obs): when a
+// tracer, metric set, or logger is attached, every phase and its
+// sub-stages record spans, deep counters, and structured phase logs.
+// With nothing attached the instrumentation is a no-op.
 func AnalyzeContext(ctx context.Context, pkg *apk.Package, opts Options) (*Result, error) {
 	res := &Result{}
+	ctx, root := obs.Start(ctx, "analyze", obs.KV("app", pkg.Name), obs.KV("k", opts.K))
+	defer root.End()
+	log := obs.Logger(ctx)
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	model, err := threadify.Build(pkg, threadify.Options{K: opts.K})
+	mctx, span := obs.Start(ctx, "modeling")
+	model, err := threadify.BuildContext(mctx, pkg, threadify.Options{K: opts.K})
+	span.End()
 	if err != nil {
 		return nil, err
 	}
 	res.Model = model
 	res.Timing.Modeling = time.Since(start)
+	log.Info("phase done", "phase", "modeling",
+		"ms", res.Timing.Modeling.Milliseconds(), "threads", len(model.Threads))
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	start = time.Now()
-	res.Detection = uaf.Detect(model)
+	dctx, span := obs.Start(ctx, "detection")
+	res.Detection = uaf.DetectContext(dctx, model)
+	span.End()
 	res.Timing.Detection = time.Since(start)
+	log.Info("phase done", "phase", "detection",
+		"ms", res.Timing.Detection.Milliseconds(), "warnings", len(res.Detection.Warnings))
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	start = time.Now()
-	res.Stats = runFilters(res.Detection, opts)
+	fctx, span := obs.Start(ctx, "filtering")
+	res.Stats = filters.RunWith(fctx, res.Detection, filters.RunConfig{
+		Options:     filters.Options{MultiLooper: opts.MultiLooper},
+		SkipSound:   opts.SkipSoundFilters,
+		SkipUnsound: opts.SkipUnsoundFilters,
+	})
+	span.End()
 	res.Timing.Filtering = time.Since(start)
+	log.Info("phase done", "phase", "filtering",
+		"ms", res.Timing.Filtering.Milliseconds(), "surviving", res.Stats.AfterUnsound)
 
+	_, span = obs.Start(ctx, "report")
 	res.Report = report.New(pkg.Name, res.Detection)
+	span.End()
 
 	if opts.Validate {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		start = time.Now()
-		harmful, err := explore.ValidateAllContext(ctx, pkg, res.Model, res.Detection.Alive(), opts.Explore)
+		vctx, span := obs.Start(ctx, "validation")
+		harmful, err := explore.ValidateAllContext(vctx, pkg, res.Model, res.Detection.Alive(), opts.Explore)
+		span.SetAttr("harmful", len(harmful))
+		span.End()
 		if err != nil {
 			return nil, err
 		}
 		res.Harmful = harmful
 		res.Timing.Validation = time.Since(start)
+		log.Info("phase done", "phase", "validation",
+			"ms", res.Timing.Validation.Milliseconds(), "harmful", len(harmful))
 	}
 	return res, nil
-}
-
-func runFilters(d *uaf.Detection, opts Options) *filters.Stats {
-	ctx := filters.NewContextWith(d, filters.Options{MultiLooper: opts.MultiLooper})
-	st := &filters.Stats{Potential: d.AliveCount(), Removed: make(map[string]int)}
-	apply := func(fs []filters.Filter) {
-		for _, f := range fs {
-			for _, w := range d.Warnings {
-				if !w.Alive() {
-					continue
-				}
-				f.Apply(ctx, w)
-				if !w.Alive() {
-					st.Removed[f.Name()]++
-				}
-			}
-		}
-	}
-	if !opts.SkipSoundFilters {
-		apply(filters.SoundFilters())
-	}
-	st.AfterSound = d.AliveCount()
-	if !opts.SkipUnsoundFilters {
-		apply(filters.UnsoundFilters())
-	}
-	st.AfterUnsound = d.AliveCount()
-	return st
 }

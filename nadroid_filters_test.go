@@ -18,8 +18,8 @@ func TestRunFiltersOptionCombinations(t *testing.T) {
 		t.Fatal("missing corpus app")
 	}
 	cases := []struct {
-		name                                 string
-		opts                                 nadroid.Options
+		name                                string
+		opts                                nadroid.Options
 		potential, afterSound, afterUnsound int
 	}{
 		{"default", nadroid.Options{}, 29, 14, 13},
