@@ -2,11 +2,16 @@
 // JSON document: one record per benchmark line, carrying the iteration
 // count, ns/op, and every custom metric the benchmark reported
 // (b.ReportMetric units such as modeling-ms or schedules). The Makefile
-// bench target pipes the 1x sweep through it to produce BENCH_pr2.json.
+// bench target pipes the 1x sweep through it to produce BENCH_pr3.json.
+//
+// The diff subcommand compares two such documents and flags ns/op
+// regressions, so `make bench-diff` can gate (or, with -advisory, just
+// report) performance drift between PRs.
 //
 // Usage:
 //
-//	go test -bench . -benchtime 1x | benchjson -out BENCH_pr2.json
+//	go test -bench . -benchtime 1x | benchjson -out BENCH_pr3.json
+//	benchjson diff [-advisory] [-threshold 10] OLD.json NEW.json
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -28,6 +34,10 @@ type Record struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		diffMain(os.Args[2:])
+		return
+	}
 	out := flag.String("out", "", "write JSON here instead of stdout")
 	flag.Parse()
 
@@ -91,6 +101,84 @@ func parseLine(line string) (Record, bool) {
 		r.Metrics[unit] = val
 	}
 	return r, true
+}
+
+// diffMain implements `benchjson diff OLD.json NEW.json`: a
+// per-benchmark ns/op comparison that exits non-zero when any shared
+// benchmark regressed by more than the threshold. -advisory downgrades
+// regressions to warnings (exit 0) — the right mode for 1-iteration
+// benchmarks, where run-to-run noise routinely exceeds any sane
+// threshold.
+func diffMain(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	advisory := fs.Bool("advisory", false, "report regressions but always exit 0")
+	threshold := fs.Float64("threshold", 10, "ns/op regression percentage that fails the diff")
+	_ = fs.Parse(args)
+	if fs.NArg() != 2 {
+		fatalf("diff needs exactly two files: benchjson diff OLD.json NEW.json")
+	}
+	oldRecs := loadBench(fs.Arg(0))
+	newRecs := loadBench(fs.Arg(1))
+
+	names := make([]string, 0, len(oldRecs)+len(newRecs))
+	seen := make(map[string]bool)
+	for name := range oldRecs {
+		names = append(names, name)
+		seen[name] = true
+	}
+	for name := range newRecs {
+		if !seen[name] {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	regressions := 0
+	for _, name := range names {
+		o, inOld := oldRecs[name]
+		n, inNew := newRecs[name]
+		switch {
+		case !inOld:
+			fmt.Printf("%-40s %14s -> %14.0f ns/op  (added)\n", name, "-", n.NsPerOp)
+		case !inNew:
+			fmt.Printf("%-40s %14.0f -> %14s ns/op  (removed)\n", name, o.NsPerOp, "-")
+		case o.NsPerOp <= 0:
+			fmt.Printf("%-40s %14.0f -> %14.0f ns/op  (old is zero, skipped)\n", name, o.NsPerOp, n.NsPerOp)
+		default:
+			pct := (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+			mark := ""
+			if pct > *threshold {
+				mark = "  REGRESSION"
+				regressions++
+			}
+			fmt.Printf("%-40s %14.0f -> %14.0f ns/op  %+7.1f%%%s\n", name, o.NsPerOp, n.NsPerOp, pct, mark)
+		}
+	}
+	if regressions > 0 {
+		fmt.Printf("benchjson diff: %d benchmark(s) regressed more than %.0f%%\n", regressions, *threshold)
+		if !*advisory {
+			os.Exit(1)
+		}
+		fmt.Println("benchjson diff: advisory mode, not failing")
+	}
+}
+
+func loadBench(path string) map[string]Record {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var doc struct {
+		Benchmarks []Record `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fatalf("parsing %s: %v", path, err)
+	}
+	out := make(map[string]Record, len(doc.Benchmarks))
+	for _, r := range doc.Benchmarks {
+		out[r.Name] = r
+	}
+	return out
 }
 
 func fatalf(format string, args ...interface{}) {

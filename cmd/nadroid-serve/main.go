@@ -35,6 +35,7 @@ func main() {
 	var (
 		addr      = flag.String("addr", ":8372", "listen address")
 		workers   = flag.Int("workers", 4, "concurrent analysis workers")
+		pipeline  = flag.Int("pipeline-workers", 0, "per-job pipeline worker bound (0 = NumCPU/workers)")
 		queue     = flag.Int("queue", 64, "job queue depth (FIFO)")
 		cache     = flag.Int("cache", 256, "result cache capacity (entries, LRU)")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "default per-job deadline (0 disables)")
@@ -51,12 +52,13 @@ func main() {
 	logger := slog.New(handler)
 
 	srv := server.New(server.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheEntries:   *cache,
-		DefaultTimeout: *timeout,
-		EnablePprof:    *pprofFlag,
-		Logger:         logger,
+		Workers:         *workers,
+		PipelineWorkers: *pipeline,
+		QueueDepth:      *queue,
+		CacheEntries:    *cache,
+		DefaultTimeout:  *timeout,
+		EnablePprof:     *pprofFlag,
+		Logger:          logger,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 

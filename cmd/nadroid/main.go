@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"nadroid"
 	"nadroid/internal/apk"
@@ -51,8 +53,36 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON of the run to FILE (chrome://tracing)")
 		traceTree = flag.Bool("tracetree", false, "print the span tree to stderr after the run")
 		verbose   = flag.Bool("v", false, "structured phase logging to stderr")
+		workers   = flag.Int("workers", 0, "pipeline worker pool bound (0 = GOMAXPROCS, 1 = sequential)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to FILE (go tool pprof)")
+		memProf   = flag.String("memprofile", "", "write a heap profile after the run to FILE (go tool pprof)")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatalf("creating %s: %v", *cpuProf, err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("starting CPU profile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatalf("creating %s: %v", *memProf, err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatalf("writing heap profile: %v", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, name := range corpus.Names() {
@@ -107,6 +137,7 @@ func main() {
 		SkipUnsoundFilters: *noUnsound,
 		Validate:           *validate,
 		Explore:            explore.Options{MaxSchedules: *budget},
+		Workers:            *workers,
 	})
 	if err != nil {
 		fatalf("analyze: %v", err)

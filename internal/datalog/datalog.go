@@ -14,33 +14,57 @@
 // starting with a lower-case letter are variables; single-quoted terms
 // ('sym') and integers are constants. `x != y` body literals are the only
 // builtin.
+//
+// The engine is an engineered evaluation backend in the spirit of
+// bddbddb: tuples live in flat arenas keyed by integer hashes, rules are
+// compiled once into dense variable slots, and each semi-naive round is
+// evaluated by a bounded worker pool (see SetWorkers). Results are
+// identical for any worker count. An Engine is not safe for concurrent
+// use by multiple goroutines.
 package datalog
 
 import (
 	"fmt"
 	"sort"
-	"strings"
+	"strconv"
 )
 
 // Sym is an interned constant.
-type Sym int
+type Sym int32
+
+// maxArity bounds relation arity so per-tuple scratch space can live on
+// the stack during evaluation.
+const maxArity = 16
 
 // Engine holds the symbol table, relations and rules of one program.
 type Engine struct {
 	symNames []string
+	symTags  []byte // 0 for plain string symbols
+	symVals  []int32
 	symIdx   map[string]Sym
+	intIdx   map[intSymKey]Sym
 	rels     map[string]*Relation
+	relList  []*Relation
 	rules    []*Rule
+	compiled []*crule
+	workers  int
 	stats    Stats
 }
 
+type intSymKey struct {
+	tag byte
+	val int32
+}
+
 // Stats counts the work one engine did, for the telemetry layer: how
-// many base facts were asserted, how many tuples the rules derived, and
-// how many semi-naive iterations Run took to reach fixpoint.
+// many base facts were asserted, how many tuples the rules derived, how
+// many semi-naive iterations Run took to reach fixpoint, and how many
+// workers the last Run used.
 type Stats struct {
 	Facts      int // base tuples asserted via Fact/FactStrings
 	Derived    int // tuples emitted by rule evaluation
 	Iterations int // Run fixpoint rounds
+	Workers    int // worker pool size of the last Run
 }
 
 // Stats returns the engine's work counters.
@@ -48,18 +72,60 @@ func (e *Engine) Stats() Stats { return e.stats }
 
 // NewEngine returns an empty engine.
 func NewEngine() *Engine {
-	return &Engine{symIdx: make(map[string]Sym), rels: make(map[string]*Relation)}
+	return &Engine{
+		symIdx: make(map[string]Sym),
+		rels:   make(map[string]*Relation),
+	}
 }
 
+// SetWorkers bounds the worker pool Run uses per semi-naive round.
+// n <= 0 selects GOMAXPROCS; 1 forces fully sequential evaluation.
+// Results are identical for any setting.
+func (e *Engine) SetWorkers(n int) { e.workers = n }
+
 // Sym interns a string constant.
-func (e *Engine) Sym(s string) Sym {
+func (e *Engine) Sym(s string) Sym { return e.intern(s, 0, 0) }
+
+func (e *Engine) intern(s string, tag byte, val int32) Sym {
 	if i, ok := e.symIdx[s]; ok {
+		if tag != 0 && e.symTags[i] == 0 {
+			e.symTags[i] = tag
+			e.symVals[i] = val
+		}
 		return i
 	}
 	i := Sym(len(e.symNames))
 	e.symNames = append(e.symNames, s)
+	e.symTags = append(e.symTags, tag)
+	e.symVals = append(e.symVals, val)
 	e.symIdx[s] = i
 	return i
+}
+
+// IntSym interns the symbol a single-letter tag plus integer would
+// produce (e.g. IntSym('h', 3) ≡ Sym("h3")) without formatting a string
+// on the hot path, and records the (tag, value) pair so IntSymVal can
+// decode it without parsing.
+func (e *Engine) IntSym(tag byte, val int) Sym {
+	k := intSymKey{tag, int32(val)}
+	if i, ok := e.intIdx[k]; ok {
+		return i
+	}
+	i := e.intern(string(tag)+strconv.Itoa(val), tag, int32(val))
+	if e.intIdx == nil {
+		e.intIdx = make(map[intSymKey]Sym)
+	}
+	e.intIdx[k] = i
+	return i
+}
+
+// IntSymVal decodes a symbol interned via IntSym (or a plain Sym whose
+// name was later claimed by IntSym). ok is false for plain symbols.
+func (e *Engine) IntSymVal(s Sym) (tag byte, val int, ok bool) {
+	if int(s) < 0 || int(s) >= len(e.symTags) || e.symTags[s] == 0 {
+		return 0, 0, false
+	}
+	return e.symTags[s], int(e.symVals[s]), true
 }
 
 // SymName returns the string for an interned symbol.
@@ -78,8 +144,12 @@ func (e *Engine) Relation(name string, arity int) *Relation {
 		}
 		return r
 	}
-	r := &Relation{name: name, arity: arity, tuples: make(map[string][]Sym)}
+	if arity > maxArity {
+		panic(fmt.Sprintf("datalog: relation %s arity %d exceeds max %d", name, arity, maxArity))
+	}
+	r := &Relation{name: name, arity: arity}
 	e.rels[name] = r
+	e.relList = append(e.relList, r)
 	return r
 }
 
@@ -124,7 +194,7 @@ func (e *Engine) AddRule(r *Rule) {
 // Count returns the number of tuples in a relation (0 if undeclared).
 func (e *Engine) Count(rel string) int {
 	if r, ok := e.rels[rel]; ok {
-		return len(r.tuples)
+		return r.rows
 	}
 	return 0
 }
@@ -132,307 +202,204 @@ func (e *Engine) Count(rel string) int {
 // Has reports whether the exact tuple is present.
 func (e *Engine) Has(rel string, terms ...Sym) bool {
 	r, ok := e.rels[rel]
-	if !ok {
+	if !ok || len(terms) != r.arity {
 		return false
 	}
-	_, present := r.tuples[key(terms)]
-	return present
+	return r.has(terms)
 }
 
 // Query returns all tuples of rel matching the pattern, where a negative
-// term is a wildcard. Results are sorted for determinism.
+// term is a wildcard. Results are sorted for determinism. Patterns with
+// at least one constant column are answered through the column index
+// instead of a full scan.
 func (e *Engine) Query(rel string, pattern ...Sym) [][]Sym {
 	r, ok := e.rels[rel]
 	if !ok {
 		return nil
 	}
+	col := -1
+	for i, p := range pattern {
+		if p >= 0 && i < r.arity {
+			col = i
+			break
+		}
+	}
 	var out [][]Sym
-	for _, t := range r.tuples {
-		match := true
-		for i, p := range pattern {
-			if p >= 0 && t[i] != p {
-				match = false
-				break
+	if col >= 0 {
+		r.buildIndex(col)
+		for _, id := range r.index[col][pattern[col]] {
+			t := r.row(int(id))
+			if matchPattern(t, pattern) {
+				out = append(out, t)
 			}
 		}
-		if match {
-			out = append(out, t)
+	} else {
+		for id := 0; id < r.rows; id++ {
+			t := r.row(id)
+			if matchPattern(t, pattern) {
+				out = append(out, t)
+			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return lessTuple(out[i], out[j]) })
 	return out
 }
 
-// Wild is the wildcard pattern term for Query.
-const Wild = Sym(-1)
-
-// Run evaluates all rules to fixpoint using semi-naive iteration.
-func (e *Engine) Run() {
-	// delta starts as everything currently in each relation.
-	delta := make(map[string]map[string][]Sym)
-	for name, r := range e.rels {
-		d := make(map[string][]Sym, len(r.tuples))
-		for k, t := range r.tuples {
-			d[k] = t
-		}
-		delta[name] = d
-	}
-	for {
-		e.stats.Iterations++
-		next := make(map[string]map[string][]Sym)
-		for _, rule := range e.rules {
-			e.evalRule(rule, delta, next)
-		}
-		if totalSize(next) == 0 {
-			return
-		}
-		delta = next
-	}
-}
-
-func totalSize(m map[string]map[string][]Sym) int {
-	n := 0
-	for _, d := range m {
-		n += len(d)
-	}
-	return n
-}
-
-// evalRule evaluates one rule semi-naively: for each positive body
-// literal position p, join delta(p) against full relations elsewhere.
-func (e *Engine) evalRule(rule *Rule, delta, next map[string]map[string][]Sym) {
-	positive := rule.positiveIdx
-	if len(positive) == 0 {
-		return
-	}
-	for _, dpos := range positive {
-		lit := rule.Body[dpos]
-		d := delta[lit.Pred]
-		if len(d) == 0 {
-			continue
-		}
-		for _, t := range d {
-			bind := make(map[string]Sym, 4)
-			if !unify(lit, t, bind) {
-				continue
-			}
-			e.joinRest(rule, 0, dpos, bind, next)
-		}
-	}
-}
-
-// joinRest recursively extends bindings over body literals other than
-// the delta literal at index skip, then emits the head tuple.
-func (e *Engine) joinRest(rule *Rule, i, skip int, bind map[string]Sym, next map[string]map[string][]Sym) {
-	if i == len(rule.Body) {
-		e.emit(rule, bind, next)
-		return
-	}
-	if i == skip {
-		e.joinRest(rule, i+1, skip, bind, next)
-		return
-	}
-	lit := rule.Body[i]
-	switch lit.Builtin {
-	case BuiltinNeq:
-		a, aok := resolveTerm(lit.Terms[0], bind)
-		b, bok := resolveTerm(lit.Terms[1], bind)
-		if !aok || !bok {
-			panic(fmt.Sprintf("datalog: unbound variable in builtin of rule %s", rule.src))
-		}
-		if a != b {
-			e.joinRest(rule, i+1, skip, bind, next)
-		}
-		return
-	case BuiltinEq:
-		a, aok := resolveTerm(lit.Terms[0], bind)
-		b, bok := resolveTerm(lit.Terms[1], bind)
-		switch {
-		case aok && bok:
-			if a == b {
-				e.joinRest(rule, i+1, skip, bind, next)
-			}
-		case aok:
-			bind[lit.Terms[1].Var] = a
-			e.joinRest(rule, i+1, skip, bind, next)
-			delete(bind, lit.Terms[1].Var)
-		case bok:
-			bind[lit.Terms[0].Var] = b
-			e.joinRest(rule, i+1, skip, bind, next)
-			delete(bind, lit.Terms[0].Var)
-		default:
-			panic(fmt.Sprintf("datalog: both sides unbound in = of rule %s", rule.src))
-		}
-		return
-	}
-	r, ok := e.rels[lit.Pred]
-	if !ok {
-		return
-	}
-	// Pick the first bound position and use the column index; fall back
-	// to a full scan only when no position is bound.
-	var candidates [][]Sym
-	indexed := false
-	for j, term := range lit.Terms {
-		if !term.IsVar {
-			candidates = r.lookup(j, term.Const)
-			indexed = true
-			break
-		}
-		if term.Var != "_" {
-			if v, bound := bind[term.Var]; bound {
-				candidates = r.lookup(j, v)
-				indexed = true
-				break
-			}
-		}
-	}
-	if !indexed {
-		candidates = make([][]Sym, 0, len(r.tuples))
-		for _, t := range r.tuples {
-			candidates = append(candidates, t)
-		}
-	}
-	for _, t := range candidates {
-		var undo []string
-		ok := true
-		for j, term := range lit.Terms {
-			if term.IsVar {
-				if v, bound := bind[term.Var]; bound {
-					if v != t[j] {
-						ok = false
-						break
-					}
-				} else if term.Var != "_" {
-					bind[term.Var] = t[j]
-					undo = append(undo, term.Var)
-				}
-			} else if term.Const != t[j] {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			e.joinRest(rule, i+1, skip, bind, next)
-		}
-		for _, v := range undo {
-			delete(bind, v)
-		}
-	}
-}
-
-func (e *Engine) emit(rule *Rule, bind map[string]Sym, next map[string]map[string][]Sym) {
-	tuple := make([]Sym, len(rule.Head.Terms))
-	for i, term := range rule.Head.Terms {
-		v, ok := resolveTerm(term, bind)
-		if !ok {
-			panic(fmt.Sprintf("datalog: unbound head variable %q in rule %s", term.Var, rule.src))
-		}
-		tuple[i] = v
-	}
-	r := e.rels[rule.Head.Pred]
-	k := key(tuple)
-	if _, exists := r.tuples[k]; exists {
-		return
-	}
-	e.stats.Derived++
-	r.tuples[k] = tuple
-	for col, idx := range r.index {
-		idx[tuple[col]] = append(idx[tuple[col]], tuple)
-	}
-	d, ok := next[rule.Head.Pred]
-	if !ok {
-		d = make(map[string][]Sym)
-		next[rule.Head.Pred] = d
-	}
-	d[k] = tuple
-}
-
-func resolveTerm(t Term, bind map[string]Sym) (Sym, bool) {
-	if !t.IsVar {
-		return t.Const, true
-	}
-	v, ok := bind[t.Var]
-	return v, ok
-}
-
-// unify matches a literal against a concrete tuple, extending bind.
-func unify(lit Literal, tuple []Sym, bind map[string]Sym) bool {
-	for i, term := range lit.Terms {
-		if term.IsVar {
-			if term.Var == "_" {
-				continue
-			}
-			if v, ok := bind[term.Var]; ok {
-				if v != tuple[i] {
-					return false
-				}
-			} else {
-				bind[term.Var] = tuple[i]
-			}
-		} else if term.Const != tuple[i] {
+func matchPattern(t []Sym, pattern []Sym) bool {
+	for i, p := range pattern {
+		if p >= 0 && t[i] != p {
 			return false
 		}
 	}
 	return true
 }
 
-// Relation is a set of same-arity tuples with lazily-built per-column
-// indexes to support the engine's joins.
+// Wild is the wildcard pattern term for Query.
+const Wild = Sym(-1)
+
+// Relation is a set of same-arity tuples stored row-major in a flat
+// arena, deduplicated by an open-addressing table of integer hashes,
+// with per-column row-ID indexes built on demand for the engine's joins.
 type Relation struct {
-	name   string
-	arity  int
-	tuples map[string][]Sym
-	// index[col][sym] lists tuples whose col-th term is sym; built on
+	name  string
+	arity int
+	// data holds rows back to back (row i at data[i*arity:]).
+	data []Sym
+	rows int
+	// table is open-addressing: entries are rowID+1, 0 = empty.
+	table []int32
+	mask  uint32
+	// index[col][sym] lists row IDs whose col-th term is sym; built on
 	// first use and maintained by insert.
-	index map[int]map[Sym][][]Sym
+	index map[int]map[Sym][]int32
+	// deltaLo/deltaHi mark the current semi-naive delta as a row range.
+	deltaLo, deltaHi int
 }
 
 // Arity returns the relation's arity.
 func (r *Relation) Arity() int { return r.arity }
 
 // Len returns the tuple count.
-func (r *Relation) Len() int { return len(r.tuples) }
+func (r *Relation) Len() int { return r.rows }
 
-func (r *Relation) insert(t []Sym) bool {
-	if len(t) != r.arity {
-		panic(fmt.Sprintf("datalog: %s expects arity %d, got %d", r.name, r.arity, len(t)))
+func (r *Relation) row(i int) []Sym {
+	base := i * r.arity
+	return r.data[base : base+r.arity]
+}
+
+func hashTuple(t []Sym) uint64 {
+	h := uint64(14695981039346656037)
+	for _, s := range t {
+		h ^= uint64(uint32(s))
+		h *= 1099511628211
 	}
-	cp := append([]Sym(nil), t...)
-	k := key(cp)
-	if _, dup := r.tuples[k]; dup {
-		return false
-	}
-	r.tuples[k] = cp
-	for col, idx := range r.index {
-		idx[cp[col]] = append(idx[cp[col]], cp)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+func (r *Relation) equalRow(id int, t []Sym) bool {
+	row := r.row(id)
+	for i, s := range t {
+		if row[i] != s {
+			return false
+		}
 	}
 	return true
 }
 
-// lookup returns the tuples whose col-th term equals sym, building the
-// column index on first use.
-func (r *Relation) lookup(col int, sym Sym) [][]Sym {
-	idx, ok := r.index[col]
-	if !ok {
-		if r.index == nil {
-			r.index = make(map[int]map[Sym][][]Sym)
-		}
-		idx = make(map[Sym][][]Sym, len(r.tuples))
-		for _, t := range r.tuples {
-			idx[t[col]] = append(idx[t[col]], t)
-		}
-		r.index[col] = idx
+// insert adds t if absent, returning whether it was new.
+func (r *Relation) insert(t []Sym) bool {
+	if len(t) != r.arity {
+		panic(fmt.Sprintf("datalog: %s expects arity %d, got %d", r.name, r.arity, len(t)))
 	}
-	return idx[sym]
+	if r.arity == 0 {
+		if r.rows > 0 {
+			return false
+		}
+		r.rows = 1
+		return true
+	}
+	if len(r.table) == 0 || uint32(r.rows+1)*4 >= uint32(len(r.table))*3 {
+		r.grow()
+	}
+	i := uint32(hashTuple(t)) & r.mask
+	for {
+		id := r.table[i]
+		if id == 0 {
+			r.data = append(r.data, t...)
+			r.table[i] = int32(r.rows) + 1
+			for col, idx := range r.index {
+				idx[t[col]] = append(idx[t[col]], int32(r.rows))
+			}
+			r.rows++
+			return true
+		}
+		if r.equalRow(int(id-1), t) {
+			return false
+		}
+		i = (i + 1) & r.mask
+	}
 }
 
-func key(t []Sym) string {
-	var b strings.Builder
-	for _, s := range t {
-		fmt.Fprintf(&b, "%d,", int(s))
+func (r *Relation) has(t []Sym) bool {
+	if r.arity == 0 {
+		return r.rows > 0
 	}
-	return b.String()
+	if len(r.table) == 0 {
+		return false
+	}
+	i := uint32(hashTuple(t)) & r.mask
+	for {
+		id := r.table[i]
+		if id == 0 {
+			return false
+		}
+		if r.equalRow(int(id-1), t) {
+			return true
+		}
+		i = (i + 1) & r.mask
+	}
+}
+
+// grow (re)builds the open-addressing table at under 75% load.
+func (r *Relation) grow() {
+	n := 2 * len(r.table)
+	if n < 16 {
+		n = 16
+	}
+	for n*3 <= (r.rows+1)*4 {
+		n *= 2
+	}
+	r.table = make([]int32, n)
+	r.mask = uint32(n - 1)
+	for id := 0; id < r.rows; id++ {
+		i := uint32(hashTuple(r.row(id))) & r.mask
+		for r.table[i] != 0 {
+			i = (i + 1) & r.mask
+		}
+		r.table[i] = int32(id) + 1
+	}
+}
+
+// buildIndex materializes the column index for col if missing.
+func (r *Relation) buildIndex(col int) {
+	if col < 0 || col >= r.arity {
+		return
+	}
+	if _, ok := r.index[col]; ok {
+		return
+	}
+	if r.index == nil {
+		r.index = make(map[int]map[Sym][]int32)
+	}
+	m := make(map[Sym][]int32, r.rows)
+	for id := 0; id < r.rows; id++ {
+		v := r.row(id)[col]
+		m[v] = append(m[v], int32(id))
+	}
+	r.index[col] = m
 }
 
 func lessTuple(a, b []Sym) bool {

@@ -1,0 +1,433 @@
+package datalog
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Semi-naive evaluation. Each round snapshots every relation's new rows
+// as a delta range, fans (rule × delta-chunk) work items out to a
+// bounded worker pool, then merges the emitted tuples back into the head
+// relations in deterministic item order, sharded by relation. Joins bind
+// into a reusable flat environment — the per-tuple hot path performs no
+// allocation. The fixpoint is a set, so results are identical for any
+// worker count.
+
+// unboundSym marks an empty environment slot. Interned symbols are
+// always >= 0.
+const unboundSym = Sym(-1)
+
+// workItem is one (rule, plan, delta row range) unit of a round.
+type workItem struct {
+	cr     *crule
+	plan   *cplan
+	lo, hi int
+}
+
+// scratch is one worker's reusable evaluation state.
+type scratch struct {
+	env []Sym
+}
+
+func newScratch(e *Engine) *scratch {
+	n := 0
+	for _, cr := range e.compiled {
+		if cr.nvars > n {
+			n = cr.nvars
+		}
+	}
+	env := make([]Sym, n)
+	for i := range env {
+		env[i] = unboundSym
+	}
+	return &scratch{env: env}
+}
+
+// Run evaluates all rules to fixpoint using semi-naive iteration.
+func (e *Engine) Run() {
+	e.compile()
+	workers := e.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e.stats.Workers = workers
+
+	// Materialize every index the join plans probe, so evaluation
+	// goroutines only read relation state.
+	for _, cr := range e.compiled {
+		for pi := range cr.plans {
+			for li := range cr.plans[pi].body {
+				if l := &cr.plans[pi].body[li]; l.rel != nil && l.lookupCol >= 0 {
+					l.rel.buildIndex(l.lookupCol)
+				}
+			}
+		}
+	}
+
+	// The first delta is everything currently in each relation.
+	for _, r := range e.relList {
+		r.deltaLo, r.deltaHi = 0, r.rows
+	}
+	var items []workItem
+	for {
+		e.stats.Iterations++
+		items = e.buildWorkItems(items[:0], workers)
+		if len(items) == 0 {
+			return
+		}
+		outs := e.evalRound(items, workers)
+
+		// Merge: new rows become the next delta.
+		for _, r := range e.relList {
+			r.deltaLo = r.rows
+		}
+		e.stats.Derived += e.mergeRound(items, outs, workers)
+		grew := false
+		for _, r := range e.relList {
+			r.deltaHi = r.rows
+			if r.deltaHi > r.deltaLo {
+				grew = true
+			}
+		}
+		if !grew {
+			return
+		}
+	}
+}
+
+// buildWorkItems chunks every rule's non-empty delta ranges. Chunks are
+// sized so each worker sees several items (for load balance) without
+// fragmenting small deltas.
+func (e *Engine) buildWorkItems(items []workItem, workers int) []workItem {
+	for _, cr := range e.compiled {
+		for pi := range cr.plans {
+			p := &cr.plans[pi]
+			d := p.delta.rel
+			n := d.deltaHi - d.deltaLo
+			if n <= 0 {
+				continue
+			}
+			chunk := n
+			if workers > 1 {
+				chunk = (n + workers*4 - 1) / (workers * 4)
+				if chunk < 128 {
+					chunk = 128
+				}
+			}
+			for lo := d.deltaLo; lo < d.deltaHi; lo += chunk {
+				hi := lo + chunk
+				if hi > d.deltaHi {
+					hi = d.deltaHi
+				}
+				items = append(items, workItem{cr: cr, plan: p, lo: lo, hi: hi})
+			}
+		}
+	}
+	return items
+}
+
+// evalRound evaluates the items, returning one flat emit buffer per
+// item. Buffers are indexed by item, not worker, so the merge order is
+// independent of goroutine scheduling.
+func (e *Engine) evalRound(items []workItem, workers int) [][]Sym {
+	outs := make([][]Sym, len(items))
+	if workers == 1 || len(items) == 1 {
+		sc := newScratch(e)
+		for i := range items {
+			outs[i] = e.evalItem(&items[i], sc, nil)
+		}
+		return outs
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := newScratch(e)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				outs[i] = e.evalItem(&items[i], sc, nil)
+			}
+		}()
+	}
+	wg.Wait()
+	return outs
+}
+
+// mergeRound inserts the emitted tuples into their head relations in
+// item order, sharding the work by head relation (each relation has a
+// single writer, so index and table maintenance stay race-free).
+// Returns the number of new tuples.
+func (e *Engine) mergeRound(items []workItem, outs [][]Sym, workers int) int {
+	type shard struct {
+		rel   *Relation
+		items []int
+	}
+	var shards []*shard
+	byRel := make(map[*Relation]*shard)
+	for i := range items {
+		if len(outs[i]) == 0 {
+			continue
+		}
+		rel := items[i].cr.headRel
+		s, ok := byRel[rel]
+		if !ok {
+			s = &shard{rel: rel}
+			byRel[rel] = s
+			shards = append(shards, s)
+		}
+		s.items = append(s.items, i)
+	}
+	mergeShard := func(s *shard) int {
+		derived := 0
+		arity := s.rel.arity
+		for _, i := range s.items {
+			buf := outs[i]
+			if arity == 0 {
+				if s.rel.insert(nil) {
+					derived++
+				}
+				continue
+			}
+			for off := 0; off+arity <= len(buf); off += arity {
+				if s.rel.insert(buf[off : off+arity]) {
+					derived++
+				}
+			}
+		}
+		return derived
+	}
+	if workers == 1 || len(shards) <= 1 {
+		derived := 0
+		for _, s := range shards {
+			derived += mergeShard(s)
+		}
+		return derived
+	}
+	var derived atomic.Int64
+	var wg sync.WaitGroup
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(shards) {
+					return
+				}
+				derived.Add(int64(mergeShard(shards[i])))
+			}
+		}()
+	}
+	wg.Wait()
+	return int(derived.Load())
+}
+
+// evalItem joins each delta row of the item against the plan, appending
+// emitted head tuples flat onto out.
+func (e *Engine) evalItem(it *workItem, sc *scratch, out []Sym) []Sym {
+	cr, p := it.cr, it.plan
+	env := sc.env
+	d := &p.delta
+	var boundSlots [maxArity]int
+	for rowID := it.lo; rowID < it.hi; rowID++ {
+		t := d.rel.row(rowID)
+		nb := 0
+		ok := true
+		for ci := range d.terms {
+			ct := &d.terms[ci]
+			v := t[ci]
+			switch {
+			case ct.isConst:
+				if ct.val != v {
+					ok = false
+				}
+			case ct.slot >= 0:
+				if env[ct.slot] == unboundSym {
+					env[ct.slot] = v
+					boundSlots[nb] = ct.slot
+					nb++
+				} else if env[ct.slot] != v {
+					ok = false
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			out = e.joinBody(cr, p, 0, env, out)
+		}
+		for i := 0; i < nb; i++ {
+			env[boundSlots[i]] = unboundSym
+		}
+	}
+	return out
+}
+
+// joinBody extends the environment over plan.body[i:], emitting the head
+// tuple when the body is exhausted.
+func (e *Engine) joinBody(cr *crule, p *cplan, i int, env []Sym, out []Sym) []Sym {
+	if i == len(p.body) {
+		return emitHead(cr, env, out)
+	}
+	l := &p.body[i]
+	switch l.builtin {
+	case BuiltinNeq:
+		a, b := termVal(&l.terms[0], env), termVal(&l.terms[1], env)
+		if a != b {
+			out = e.joinBody(cr, p, i+1, env, out)
+		}
+		return out
+	case BuiltinEq:
+		ta, tb := &l.terms[0], &l.terms[1]
+		av, abound := termBound(ta, env)
+		bv, bbound := termBound(tb, env)
+		switch {
+		case abound && bbound:
+			if av == bv {
+				out = e.joinBody(cr, p, i+1, env, out)
+			}
+		case abound:
+			if tb.slot < 0 { // binding a wildcard is a no-op
+				return e.joinBody(cr, p, i+1, env, out)
+			}
+			env[tb.slot] = av
+			out = e.joinBody(cr, p, i+1, env, out)
+			env[tb.slot] = unboundSym
+		case bbound:
+			if ta.slot < 0 {
+				return e.joinBody(cr, p, i+1, env, out)
+			}
+			env[ta.slot] = bv
+			out = e.joinBody(cr, p, i+1, env, out)
+			env[ta.slot] = unboundSym
+		}
+		return out
+	}
+	r := l.rel
+	if r.arity == 0 {
+		if r.rows > 0 {
+			out = e.joinBody(cr, p, i+1, env, out)
+		}
+		return out
+	}
+	if l.lookupCol >= 0 {
+		kt := &l.terms[l.lookupCol]
+		key := kt.val
+		if !kt.isConst {
+			key = env[kt.slot]
+		}
+		for _, id := range r.index[l.lookupCol][key] {
+			out = e.joinRow(cr, p, i, l, r.row(int(id)), env, out)
+		}
+		return out
+	}
+	for id := 0; id < r.rows; id++ {
+		out = e.joinRow(cr, p, i, l, r.row(id), env, out)
+	}
+	return out
+}
+
+// joinRow unifies one candidate row against literal l, recursing into
+// the rest of the plan on success.
+func (e *Engine) joinRow(cr *crule, p *cplan, i int, l *clit, t []Sym, env []Sym, out []Sym) []Sym {
+	var boundSlots [maxArity]int
+	nb := 0
+	ok := true
+	for ci := range l.terms {
+		ct := &l.terms[ci]
+		v := t[ci]
+		switch {
+		case ct.isConst:
+			if ct.val != v {
+				ok = false
+			}
+		case ct.slot >= 0:
+			if env[ct.slot] == unboundSym {
+				env[ct.slot] = v
+				boundSlots[nb] = ct.slot
+				nb++
+			} else if env[ct.slot] != v {
+				ok = false
+			}
+		}
+		if !ok {
+			break
+		}
+	}
+	if ok {
+		out = e.joinBody(cr, p, i+1, env, out)
+	}
+	for k := 0; k < nb; k++ {
+		env[boundSlots[k]] = unboundSym
+	}
+	return out
+}
+
+// emitHead resolves the head tuple and appends it to out, skipping
+// immediate duplicates (full dedup happens at merge). Arity-0 heads
+// leave a single marker so the merge knows the rule fired.
+func emitHead(cr *crule, env []Sym, out []Sym) []Sym {
+	ha := len(cr.head)
+	if ha == 0 {
+		if len(out) == 0 {
+			out = append(out, 0)
+		}
+		return out
+	}
+	var tup [maxArity]Sym
+	for hi := range cr.head {
+		ct := &cr.head[hi]
+		if ct.isConst {
+			tup[hi] = ct.val
+		} else {
+			tup[hi] = env[ct.slot]
+		}
+	}
+	if n := len(out); n >= ha && ha > 0 {
+		same := true
+		for k := 0; k < ha; k++ {
+			if out[n-ha+k] != tup[k] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return out
+		}
+	}
+	return append(out, tup[:ha]...)
+}
+
+// termVal resolves a term the planner guaranteed is bound.
+func termVal(t *cterm, env []Sym) Sym {
+	if t.isConst {
+		return t.val
+	}
+	return env[t.slot]
+}
+
+// termBound resolves a term that may still be unbound (Eq operands).
+func termBound(t *cterm, env []Sym) (Sym, bool) {
+	if t.isConst {
+		return t.val, true
+	}
+	if t.slot < 0 {
+		return 0, false
+	}
+	v := env[t.slot]
+	return v, v != unboundSym
+}

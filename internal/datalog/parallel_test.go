@@ -1,0 +1,189 @@
+package datalog
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// dump renders every relation of an engine as sorted tuple lists — the
+// full externally observable fixpoint.
+func dump(e *Engine) map[string][][]Sym {
+	out := make(map[string][][]Sym)
+	for name, r := range e.rels {
+		pattern := make([]Sym, r.arity)
+		for i := range pattern {
+			pattern[i] = Wild
+		}
+		out[name] = e.Query(name, pattern...)
+	}
+	return out
+}
+
+// program is a buildable rule-and-fact set, applied to fresh engines so
+// worker counts can be compared on identical inputs.
+type program struct {
+	rules []string
+	facts func(e *Engine)
+}
+
+func (p program) build(workers int) *Engine {
+	e := NewEngine()
+	e.SetWorkers(workers)
+	p.facts(e)
+	for _, r := range p.rules {
+		e.MustRule(r)
+	}
+	e.Run()
+	return e
+}
+
+func requireIdentical(t *testing.T, p program, workerCounts ...int) {
+	t.Helper()
+	base := p.build(1)
+	want := dump(base)
+	for _, w := range workerCounts {
+		e := p.build(w)
+		got := dump(e)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d fixpoint differs from sequential:\n got %v\nwant %v", w, got, want)
+		}
+		if bs, es := base.Stats(), e.Stats(); bs.Facts != es.Facts || bs.Derived != es.Derived || bs.Iterations != es.Iterations {
+			t.Fatalf("workers=%d stats differ: %+v vs %+v", w, es, bs)
+		}
+	}
+}
+
+// TestParallelMatchesSequentialFixed runs a diverse fixed rule set —
+// recursion, multi-way joins, builtins, wildcards, self-joins — through
+// 1, 2, 4 and 8 workers.
+func TestParallelMatchesSequentialFixed(t *testing.T) {
+	p := program{
+		rules: []string{
+			"Path(x, y) :- Edge(x, y)",
+			"Path(x, z) :- Path(x, y), Edge(y, z)",
+			"Sym2(x, y) :- Edge(x, y), Edge(y, x)",
+			"Tri(x, y, z) :- Edge(x, y), Edge(y, z), Edge(z, x), x != y",
+			"Eq2(x, y) :- Edge(x, _), y = x",
+			"Pair(x, y) :- Node(x), Node(y), x != y",
+			"Node(x) :- Edge(x, _)",
+			"Node(y) :- Edge(_, y)",
+		},
+		facts: func(e *Engine) {
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < 400; i++ {
+				a, b := rng.Intn(40), rng.Intn(40)
+				e.Fact("Edge", e.IntSym('n', a), e.IntSym('n', b))
+			}
+		},
+	}
+	requireIdentical(t, p, 2, 4, 8)
+}
+
+// TestParallelMatchesSequentialRandom generates random small rule
+// programs over random fact sets and asserts every relation's fixpoint
+// matches between the sequential engine and the parallel one.
+func TestParallelMatchesSequentialRandom(t *testing.T) {
+	preds := []string{"A", "B", "C", "D"}
+	vars := []string{"x", "y", "z"}
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) * 131))
+		var rules []string
+		for ri := 0; ri < 2+rng.Intn(4); ri++ {
+			head := preds[rng.Intn(len(preds))]
+			hv := []string{vars[rng.Intn(len(vars))], vars[rng.Intn(len(vars))]}
+			var body []string
+			used := map[string]bool{}
+			nBody := 1 + rng.Intn(3)
+			for bi := 0; bi < nBody; bi++ {
+				p := preds[rng.Intn(len(preds))]
+				v1, v2 := vars[rng.Intn(len(vars))], vars[rng.Intn(len(vars))]
+				body = append(body, fmt.Sprintf("%s(%s, %s)", p, v1, v2))
+				used[v1], used[v2] = true, true
+			}
+			// Ensure head vars are bound: substitute unbound ones.
+			for i, v := range hv {
+				if !used[v] {
+					for u := range used {
+						hv[i] = u
+						break
+					}
+				}
+			}
+			if rng.Intn(3) == 0 && used["x"] && used["y"] {
+				body = append(body, "x != y")
+			}
+			rules = append(rules, fmt.Sprintf("%s(%s, %s) :- %s", head, hv[0], hv[1], joinStrs(body)))
+		}
+		seed := rng.Int63()
+		p := program{
+			rules: rules,
+			facts: func(e *Engine) {
+				frng := rand.New(rand.NewSource(seed))
+				for i := 0; i < 120; i++ {
+					e.Fact(preds[frng.Intn(len(preds))], e.IntSym('s', frng.Intn(12)), e.IntSym('s', frng.Intn(12)))
+				}
+			},
+		}
+		requireIdentical(t, p, 4)
+	}
+}
+
+func joinStrs(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ", "
+		}
+		out += p
+	}
+	return out
+}
+
+// TestIntSymRoundTrip pins the IntSym fast path to the Sym("h3")-style
+// names the analyses previously formatted by hand.
+func TestIntSymRoundTrip(t *testing.T) {
+	e := NewEngine()
+	s := e.IntSym('h', 42)
+	if e.SymName(s) != "h42" {
+		t.Fatalf("SymName = %q, want h42", e.SymName(s))
+	}
+	if s2 := e.Sym("h42"); s2 != s {
+		t.Fatalf("Sym(\"h42\") = %d, want %d", s2, s)
+	}
+	tag, val, ok := e.IntSymVal(s)
+	if !ok || tag != 'h' || val != 42 {
+		t.Fatalf("IntSymVal = (%c, %d, %v), want (h, 42, true)", tag, val, ok)
+	}
+	if _, _, ok := e.IntSymVal(e.Sym("plain")); ok {
+		t.Error("plain symbol must not decode as an IntSym")
+	}
+}
+
+// TestQueryUsesIndex pins the constant-pattern fast path: a query with a
+// bound column must return the same rows as a full scan.
+func TestQueryUsesIndex(t *testing.T) {
+	e := NewEngine()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		e.Fact("R", e.IntSym('a', rng.Intn(10)), e.IntSym('b', rng.Intn(10)), e.IntSym('c', rng.Intn(10)))
+	}
+	for a := 0; a < 10; a++ {
+		want := 0
+		for _, row := range e.Query("R", Wild, Wild, Wild) {
+			if row[0] == e.IntSym('a', a) {
+				want++
+			}
+		}
+		got := e.Query("R", e.IntSym('a', a), Wild, Wild)
+		if len(got) != want {
+			t.Fatalf("indexed query for a%d returned %d rows, want %d", a, len(got), want)
+		}
+		for _, row := range got {
+			if row[0] != e.IntSym('a', a) {
+				t.Fatalf("indexed query returned non-matching row %v", row)
+			}
+		}
+	}
+}

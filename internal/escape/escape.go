@@ -13,12 +13,17 @@
 package escape
 
 import (
-	"fmt"
-
 	"nadroid/internal/datalog"
 	"nadroid/internal/pointsto"
 	"nadroid/internal/threadify"
 )
+
+// Options tunes the analysis.
+type Options struct {
+	// Workers bounds the Datalog engine's per-round worker pool
+	// (0 = GOMAXPROCS). Results are identical for any setting.
+	Workers int
+}
 
 // Result maps object IDs to their escape status.
 type Result struct {
@@ -34,10 +39,14 @@ func (r *Result) Escaped(obj pointsto.ObjID) bool { return r.escaped[obj] }
 func (r *Result) ReacherCount(obj pointsto.ObjID) int { return r.reachers[obj] }
 
 // Analyze computes escape facts for every abstract object in the model.
-func Analyze(m *threadify.Model) *Result {
+func Analyze(m *threadify.Model) *Result { return AnalyzeWith(m, Options{}) }
+
+// AnalyzeWith is Analyze with explicit options.
+func AnalyzeWith(m *threadify.Model, opts Options) *Result {
 	e := datalog.NewEngine()
-	objSym := func(o pointsto.ObjID) datalog.Sym { return e.Sym(fmt.Sprintf("h%d", int(o))) }
-	thrSym := func(t int) datalog.Sym { return e.Sym(fmt.Sprintf("t%d", t)) }
+	e.SetWorkers(opts.Workers)
+	objSym := func(o pointsto.ObjID) datalog.Sym { return e.IntSym('h', int(o)) }
+	thrSym := func(t int) datalog.Sym { return e.IntSym('t', t) }
 
 	// Roots: for each thread, every object any reachable variable points
 	// to (including the entry receiver, bound to `this` during the

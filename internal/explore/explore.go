@@ -13,6 +13,9 @@ package explore
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"nadroid/internal/apk"
 	"nadroid/internal/interp"
@@ -30,6 +33,10 @@ type Options struct {
 	// BothBranchPolicies additionally explores with opaque branches
 	// taken (doubling the budget's use).
 	BothBranchPolicies bool
+	// Workers bounds ValidateAll's fan-out across warnings
+	// (0 = GOMAXPROCS, 1 = sequential). The confirmed subset and its
+	// order are identical for any setting.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -256,9 +263,29 @@ func ValidateAll(pkg *apk.Package, model *threadify.Model, warnings []*uaf.Warni
 // every schedule execution, so an expired deadline stops the sweep
 // mid-warning. On cancellation it returns the harmful subset confirmed
 // so far along with ctx.Err().
+//
+// Warnings are validated concurrently by up to Options.Workers
+// goroutines; each warning's search is independent, and results are
+// assembled in input order, so the confirmed subset matches the
+// sequential sweep exactly.
 func ValidateAllContext(ctx context.Context, pkg *apk.Package, model *threadify.Model, warnings []*uaf.Warning, opts Options) ([]*uaf.Warning, error) {
-	var out []*uaf.Warning
-	for _, w := range warnings {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(warnings) {
+		workers = len(warnings)
+	}
+	obs.Add(ctx, "explore_workers", int64(workers))
+
+	type outcome struct {
+		wit *Witness
+		ok  bool
+		err error
+	}
+	results := make([]outcome, len(warnings))
+	validate := func(i int) {
+		w := warnings[i]
 		wctx, span := obs.Start(ctx, "validate",
 			obs.KV("field", w.Field.String()), obs.KV("use", w.Use.String()), obs.KV("free", w.Free.String()))
 		wit, ok, err := ValidateWarningContext(wctx, pkg, model, w, opts)
@@ -267,14 +294,47 @@ func ValidateAllContext(ctx context.Context, pkg *apk.Package, model *threadify.
 			span.SetAttr("executions", wit.Executions)
 		}
 		span.End()
-		if err != nil {
-			return out, err
+		results[i] = outcome{wit, ok, err}
+	}
+	if workers <= 1 {
+		for i := range warnings {
+			validate(i)
+			// Stop early like the sequential sweep always has: a failed
+			// warning aborts the rest.
+			if results[i].err != nil {
+				break
+			}
 		}
-		if ok {
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for k := 0; k < workers; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(warnings) {
+						return
+					}
+					validate(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	var out []*uaf.Warning
+	for i, w := range warnings {
+		r := results[i]
+		if r.err != nil {
+			return out, r.err
+		}
+		if r.ok {
 			out = append(out, w)
 			obs.Logger(ctx).Info("warning validated harmful",
 				"field", w.Field.String(), "use", w.Use.String(), "free", w.Free.String(),
-				"executions", wit.Executions)
+				"executions", r.wit.Executions)
 		}
 	}
 	return out, nil

@@ -9,7 +9,10 @@ package filters
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"nadroid/internal/framework"
 	"nadroid/internal/hb"
@@ -44,7 +47,9 @@ type Context struct {
 	accIdx map[accKey]race.Access
 	// cancels caches per-thread cancellation operations (CHB).
 	cancels map[int][]cancelOp
-	// methodCache avoids re-fetching methods.
+	// methodCache avoids re-fetching methods; mu guards it because
+	// filters may apply to warnings concurrently.
+	mu          sync.Mutex
 	methodCache map[string]*ir.Method
 }
 
@@ -93,14 +98,19 @@ func NewContextWith(d *uaf.Detection, opts Options) *Context {
 }
 
 func (ctx *Context) method(ref string) *ir.Method {
-	if m, ok := ctx.methodCache[ref]; ok {
+	ctx.mu.Lock()
+	m, ok := ctx.methodCache[ref]
+	ctx.mu.Unlock()
+	if ok {
 		return m
 	}
 	m, err := ctx.Model.H.MethodByRef(ref)
 	if err != nil {
 		m = nil
 	}
+	ctx.mu.Lock()
 	ctx.methodCache[ref] = m
+	ctx.mu.Unlock()
 	return m
 }
 
@@ -242,6 +252,10 @@ type RunConfig struct {
 	SkipSound bool
 	// SkipUnsound disables the §6.2 pass.
 	SkipUnsound bool
+	// Workers bounds each filter's fan-out across warnings
+	// (0 = GOMAXPROCS, 1 = sequential). Filters still run strictly in
+	// pipeline order, so attribution is identical for any setting.
+	Workers int
 }
 
 // Run applies the sound filters then the unsound filters in sequence,
@@ -259,21 +273,26 @@ func RunWith(octx context.Context, d *uaf.Detection, cfg RunConfig) *Stats {
 	ctx := NewContextWith(d, cfg.Options)
 	span.End()
 
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	obs.Add(octx, "filter_workers", int64(workers))
+
 	st := &Stats{Potential: d.AliveCount(), Removed: make(map[string]int)}
 	apply := func(fs []Filter) {
 		for _, f := range fs {
 			_, fspan := obs.Start(octx, "filter:"+f.Name(), obs.KV("sound", f.Sound()))
-			examined, pairsRemoved, killed := 0, 0, 0
+			alive := make([]*uaf.Warning, 0, len(d.Warnings))
 			for _, w := range d.Warnings {
-				if !w.Alive() {
-					continue
+				if w.Alive() {
+					alive = append(alive, w)
 				}
-				examined++
-				pairsRemoved += f.Apply(ctx, w)
-				if !w.Alive() {
-					killed++
-					st.Removed[f.Name()]++
-				}
+			}
+			examined := len(alive)
+			pairsRemoved, killed := applyOne(ctx, f, alive, workers)
+			if killed > 0 {
+				st.Removed[f.Name()] += killed
 			}
 			fspan.SetAttr("examined", examined)
 			fspan.SetAttr("pairs_removed", pairsRemoved)
@@ -294,6 +313,49 @@ func RunWith(octx context.Context, d *uaf.Detection, cfg RunConfig) *Stats {
 	}
 	st.AfterUnsound = d.AliveCount()
 	return st
+}
+
+// applyOne applies one filter to every alive warning, fanning out across
+// a bounded worker pool. Warnings are disjoint, so each is mutated by
+// exactly one goroutine; the aggregate counters are order-independent,
+// making the outcome identical to the sequential pass.
+func applyOne(ctx *Context, f Filter, alive []*uaf.Warning, workers int) (pairsRemoved, killed int) {
+	if workers > len(alive) {
+		workers = len(alive)
+	}
+	if workers <= 1 {
+		for _, w := range alive {
+			pairsRemoved += f.Apply(ctx, w)
+			if !w.Alive() {
+				killed++
+			}
+		}
+		return pairsRemoved, killed
+	}
+	var next, pairsTotal, killedTotal atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pairs, dead := 0, 0
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= len(alive) {
+					break
+				}
+				w := alive[j]
+				pairs += f.Apply(ctx, w)
+				if !w.Alive() {
+					dead++
+				}
+			}
+			pairsTotal.Add(int64(pairs))
+			killedTotal.Add(int64(dead))
+		}()
+	}
+	wg.Wait()
+	return int(pairsTotal.Load()), int(killedTotal.Load())
 }
 
 // MeasureIndependent evaluates each filter alone against the unfiltered

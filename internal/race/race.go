@@ -85,6 +85,9 @@ type Options struct {
 	// restriction (§5). When false the detector reports every
 	// read-write/write-write race, like stock Chord.
 	UseFreeOnly bool
+	// Workers bounds the Datalog engines' per-round worker pools
+	// (0 = GOMAXPROCS). Results are identical for any setting.
+	Workers int
 }
 
 // CollectAccesses enumerates the field accesses of every modeled thread.
@@ -180,7 +183,7 @@ func DetectContext(ctx context.Context, m *threadify.Model, opts Options) *Resul
 	span.End()
 
 	_, span = obs.Start(ctx, "escape.analyze")
-	esc := escape.Analyze(m)
+	esc := escape.AnalyzeWith(m, escape.Options{Workers: opts.Workers})
 	span.End()
 
 	pctx, span := obs.Start(ctx, "race.pair")
@@ -206,9 +209,10 @@ func DetectPairs(m *threadify.Model, accesses []Access, esc *escape.Result, opts
 // (fact/derived-tuple/iteration counters) reported through ctx.
 func DetectPairsContext(ctx context.Context, m *threadify.Model, accesses []Access, esc *escape.Result, opts Options) []Pair {
 	e := datalog.NewEngine()
-	accSym := func(id int) datalog.Sym { return e.Sym(fmt.Sprintf("a%d", id)) }
-	thrSym := func(t int) datalog.Sym { return e.Sym(fmt.Sprintf("t%d", t)) }
-	objSym := func(o pointsto.ObjID) datalog.Sym { return e.Sym(fmt.Sprintf("h%d", int(o))) }
+	e.SetWorkers(opts.Workers)
+	accSym := func(id int) datalog.Sym { return e.IntSym('a', id) }
+	thrSym := func(t int) datalog.Sym { return e.IntSym('t', t) }
+	objSym := func(o pointsto.ObjID) datalog.Sym { return e.IntSym('h', int(o)) }
 	staticObj := e.Sym("h:static")
 
 	// Make sure relations exist even when a side contributes no facts.
@@ -260,12 +264,12 @@ func DetectPairsContext(ctx context.Context, m *threadify.Model, accesses []Acce
 	obs.Add(ctx, "datalog_facts", int64(st.Facts))
 	obs.Add(ctx, "datalog_derived", int64(st.Derived))
 	obs.Add(ctx, "datalog_iterations", int64(st.Iterations))
+	obs.Add(ctx, "datalog_workers", int64(st.Workers))
 
 	var pairs []Pair
 	for _, row := range e.Query("Racy", datalog.Wild, datalog.Wild) {
-		var a, b int
-		fmt.Sscanf(e.SymName(row[0]), "a%d", &a)
-		fmt.Sscanf(e.SymName(row[1]), "a%d", &b)
+		_, a, _ := e.IntSymVal(row[0])
+		_, b, _ := e.IntSymVal(row[1])
 		if !opts.UseFreeOnly && a > b && sameKindPair(accesses, a, b) {
 			// Write-write pairs arrive in both orders; keep one.
 			continue

@@ -26,6 +26,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"strings"
 	"time"
 
@@ -41,6 +42,12 @@ import (
 type Config struct {
 	// Workers is the analysis concurrency (default 4).
 	Workers int
+	// PipelineWorkers bounds each job's intra-pipeline worker pools (the
+	// detection Datalog engines, per-filter warning fan-out, validation
+	// sweep). Default: NumCPU/Workers, at least 1, so concurrent jobs
+	// share the machine instead of each fanning out to every core.
+	// Worker counts never change analysis results.
+	PipelineWorkers int
 	// QueueDepth bounds the FIFO job queue (default 64).
 	QueueDepth int
 	// CacheEntries bounds the result cache (default 256).
@@ -62,6 +69,12 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = 4
+	}
+	if c.PipelineWorkers <= 0 {
+		c.PipelineWorkers = runtime.NumCPU() / c.Workers
+		if c.PipelineWorkers < 1 {
+			c.PipelineWorkers = 1
+		}
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
@@ -195,6 +208,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
 	}
 	opts := req.Options.ToOptions()
+	opts.Workers = s.cfg.PipelineWorkers
 	appName := pkg.Name
 	job, err := s.pool.Submit(appName, timeout, func(ctx context.Context) (*ResultWire, error) {
 		res, err := nadroid.AnalyzeContext(ctx, pkg, opts)

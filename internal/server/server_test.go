@@ -191,13 +191,14 @@ func TestAsyncJobLifecycle(t *testing.T) {
 }
 
 // TestCancelInFlightJob cancels a running analysis via DELETE and
-// expects the cancellation-aware pipeline to abort it (ConnectBot's
-// detection phase alone gives a >100ms cancellation window).
+// expects the cancellation-aware pipeline to abort it (Mms is the
+// corpus's slowest app; its detection phase alone gives a >100ms
+// cancellation window).
 func TestCancelInFlightJob(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
 
 	resp, data := postJSON(t, ts.URL+"/v1/analyze?async=true", AnalyzeRequest{
-		App:     "ConnectBot",
+		App:     "Mms",
 		Options: OptionsWire{Validate: true, MaxSchedules: 1_000_000},
 	})
 	if resp.StatusCode != http.StatusAccepted {
@@ -265,11 +266,11 @@ func TestPerJobDeadline(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
 
 	resp, data := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{
-		App:       "ConnectBot",
+		App:       "Mms",
 		TimeoutMS: 1,
 	})
 	if resp.StatusCode == http.StatusOK {
-		t.Fatalf("1ms deadline must not complete a ConnectBot run: %s", data)
+		t.Fatalf("1ms deadline must not complete an Mms run: %s", data)
 	}
 	var ae apiError
 	if err := json.Unmarshal(data, &ae); err != nil {

@@ -54,6 +54,12 @@ type Options struct {
 	Validate bool
 	// Explore bounds validation when Validate is set.
 	Explore explore.Options
+	// Workers bounds every phase's worker pool: the detection Datalog
+	// engines, the per-filter warning fan-out, and (unless
+	// Explore.Workers is set) the validation sweep. 0 selects GOMAXPROCS;
+	// 1 forces fully sequential execution. Results are identical for any
+	// setting.
+	Workers int
 }
 
 // Timing is the per-phase wall-clock split (§8.8).
@@ -130,7 +136,7 @@ func AnalyzeContext(ctx context.Context, pkg *apk.Package, opts Options) (*Resul
 	}
 	start = time.Now()
 	dctx, span := obs.Start(ctx, "detection")
-	res.Detection = uaf.DetectContext(dctx, model)
+	res.Detection = uaf.DetectWith(dctx, model, uaf.Options{Workers: opts.Workers})
 	span.End()
 	res.Timing.Detection = time.Since(start)
 	log.Info("phase done", "phase", "detection",
@@ -145,6 +151,7 @@ func AnalyzeContext(ctx context.Context, pkg *apk.Package, opts Options) (*Resul
 		Options:     filters.Options{MultiLooper: opts.MultiLooper},
 		SkipSound:   opts.SkipSoundFilters,
 		SkipUnsound: opts.SkipUnsoundFilters,
+		Workers:     opts.Workers,
 	})
 	span.End()
 	res.Timing.Filtering = time.Since(start)
@@ -160,8 +167,12 @@ func AnalyzeContext(ctx context.Context, pkg *apk.Package, opts Options) (*Resul
 			return nil, err
 		}
 		start = time.Now()
+		eopts := opts.Explore
+		if eopts.Workers == 0 {
+			eopts.Workers = opts.Workers
+		}
 		vctx, span := obs.Start(ctx, "validation")
-		harmful, err := explore.ValidateAllContext(vctx, pkg, res.Model, res.Detection.Alive(), opts.Explore)
+		harmful, err := explore.ValidateAllContext(vctx, pkg, res.Model, res.Detection.Alive(), eopts)
 		span.SetAttr("harmful", len(harmful))
 		span.End()
 		if err != nil {
