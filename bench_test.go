@@ -31,31 +31,45 @@ import (
 	"nadroid/internal/interp"
 	"nadroid/internal/nosleep"
 	"nadroid/internal/obs"
+	"nadroid/internal/pointsto"
 	"nadroid/internal/race"
 	"nadroid/internal/threadify"
 	"nadroid/internal/uaf"
 )
 
-// BenchmarkTable1Pipeline runs the static pipeline (model + detect +
+// benchmarkTable1Pipeline runs the static pipeline (model + detect +
 // filter) over the full 27-app corpus — the paper's Table 1 without the
-// manual-validation column.
-func BenchmarkTable1Pipeline(b *testing.B) {
+// manual-validation column — at one corpus-level worker count.
+func benchmarkTable1Pipeline(b *testing.B, workers int) {
+	var work []nadroid.CorpusApp
+	for _, app := range corpus.Apps() {
+		work = append(work, nadroid.CorpusApp{Name: app.Name(), Build: app.Build})
+	}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var pot, sound, unsound int
-		for _, app := range corpus.Apps() {
-			res, err := nadroid.Analyze(app.Build(), nadroid.Options{})
-			if err != nil {
-				b.Fatal(err)
+		for _, r := range nadroid.AnalyzeCorpus(work, nadroid.CorpusOptions{Workers: workers}) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
 			}
-			pot += res.Stats.Potential
-			sound += res.Stats.AfterSound
-			unsound += res.Stats.AfterUnsound
+			pot += r.Result.Stats.Potential
+			sound += r.Result.Stats.AfterSound
+			unsound += r.Result.Stats.AfterUnsound
 		}
 		b.ReportMetric(float64(pot), "potential")
 		b.ReportMetric(float64(sound), "after-sound")
 		b.ReportMetric(float64(unsound), "after-unsound")
 	}
 }
+
+// BenchmarkTable1Pipeline is the single-core reference sweep (one app at
+// a time), comparable across releases.
+func BenchmarkTable1Pipeline(b *testing.B) { benchmarkTable1Pipeline(b, 1) }
+
+// BenchmarkTable1PipelineParallel fans the corpus across GOMAXPROCS
+// workers via nadroid.AnalyzeCorpus; the headline metrics must match the
+// sequential run exactly.
+func BenchmarkTable1PipelineParallel(b *testing.B) { benchmarkTable1Pipeline(b, 0) }
 
 // BenchmarkTable1Validation regenerates the true-harmful column on the
 // apps that carry seeded bugs (the explorer dominates, so the corpus is
@@ -248,6 +262,30 @@ func BenchmarkPhaseModeling(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkPhasePointsTo measures the k-object-sensitive points-to
+// solve (§5's Chord substitute) alone: modeling setup (component
+// discovery, entry seeding, oracle construction) runs once outside the
+// timer, and each iteration re-solves from scratch. The iteration and
+// points-to fact counts double as a regression guard on the solver's
+// work, independent of wall clock.
+func BenchmarkPhasePointsTo(b *testing.B) {
+	app, _ := corpus.ByName("Mms")
+	si, err := threadify.PrepareSolve(app.Build(), threadify.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var st pointsto.SolveStats
+	for i := 0; i < b.N; i++ {
+		res := pointsto.SolveWithSynthetics(si.H, si.Synths, si.Entries, si.Opts)
+		st = res.Stats()
+	}
+	b.ReportMetric(float64(st.Iterations), "iterations")
+	b.ReportMetric(float64(st.VarFacts), "var-facts")
+	b.ReportMetric(float64(st.Objects), "objects")
+	b.ReportMetric(float64(st.MCtxs), "mctxs")
 }
 
 // BenchmarkPhaseDetection measures race/UAF detection (§5) alone.

@@ -120,6 +120,24 @@ func diffMain(args []string) {
 	oldRecs := loadBench(fs.Arg(0))
 	newRecs := loadBench(fs.Arg(1))
 
+	lines, regressions := diffRecords(oldRecs, newRecs, *threshold)
+	for _, line := range lines {
+		fmt.Println(line)
+	}
+	if regressions > 0 {
+		fmt.Printf("benchjson diff: %d benchmark(s) regressed more than %.0f%%\n", regressions, *threshold)
+		if !*advisory {
+			os.Exit(1)
+		}
+		fmt.Println("benchjson diff: advisory mode, not failing")
+	}
+}
+
+// diffRecords renders the per-benchmark comparison (one line per
+// benchmark, union of both sides, sorted by name) and counts shared
+// benchmarks whose ns/op regressed past threshold percent. One-sided
+// benchmarks print as (added)/(removed) and never count as regressions.
+func diffRecords(oldRecs, newRecs map[string]Record, threshold float64) (lines []string, regressions int) {
 	names := make([]string, 0, len(oldRecs)+len(newRecs))
 	seen := make(map[string]bool)
 	for name := range oldRecs {
@@ -133,34 +151,27 @@ func diffMain(args []string) {
 	}
 	sort.Strings(names)
 
-	regressions := 0
 	for _, name := range names {
 		o, inOld := oldRecs[name]
 		n, inNew := newRecs[name]
 		switch {
 		case !inOld:
-			fmt.Printf("%-40s %14s -> %14.0f ns/op  (added)\n", name, "-", n.NsPerOp)
+			lines = append(lines, fmt.Sprintf("%-40s %14s -> %14.0f ns/op  (added)", name, "-", n.NsPerOp))
 		case !inNew:
-			fmt.Printf("%-40s %14.0f -> %14s ns/op  (removed)\n", name, o.NsPerOp, "-")
+			lines = append(lines, fmt.Sprintf("%-40s %14.0f -> %14s ns/op  (removed)", name, o.NsPerOp, "-"))
 		case o.NsPerOp <= 0:
-			fmt.Printf("%-40s %14.0f -> %14.0f ns/op  (old is zero, skipped)\n", name, o.NsPerOp, n.NsPerOp)
+			lines = append(lines, fmt.Sprintf("%-40s %14.0f -> %14.0f ns/op  (old is zero, skipped)", name, o.NsPerOp, n.NsPerOp))
 		default:
 			pct := (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
 			mark := ""
-			if pct > *threshold {
+			if pct > threshold {
 				mark = "  REGRESSION"
 				regressions++
 			}
-			fmt.Printf("%-40s %14.0f -> %14.0f ns/op  %+7.1f%%%s\n", name, o.NsPerOp, n.NsPerOp, pct, mark)
+			lines = append(lines, fmt.Sprintf("%-40s %14.0f -> %14.0f ns/op  %+7.1f%%%s", name, o.NsPerOp, n.NsPerOp, pct, mark))
 		}
 	}
-	if regressions > 0 {
-		fmt.Printf("benchjson diff: %d benchmark(s) regressed more than %.0f%%\n", regressions, *threshold)
-		if !*advisory {
-			os.Exit(1)
-		}
-		fmt.Println("benchjson diff: advisory mode, not failing")
-	}
+	return lines, regressions
 }
 
 func loadBench(path string) map[string]Record {

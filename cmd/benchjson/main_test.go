@@ -1,0 +1,112 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	t.Run("plain", func(t *testing.T) {
+		r, ok := parseLine("BenchmarkPhaseDetection \t      10\t 197500000 ns/op")
+		if !ok {
+			t.Fatal("line not parsed")
+		}
+		if r.Name != "BenchmarkPhaseDetection" || r.Iters != 10 || r.NsPerOp != 197500000 {
+			t.Errorf("got %+v", r)
+		}
+		if len(r.Metrics) != 0 {
+			t.Errorf("unexpected metrics %v", r.Metrics)
+		}
+	})
+	t.Run("custom metrics", func(t *testing.T) {
+		r, ok := parseLine("BenchmarkPhasePointsTo \t       5\t   2775284 ns/op\t      1511 iterations\t       383.0 mctxs")
+		if !ok {
+			t.Fatal("line not parsed")
+		}
+		if r.NsPerOp != 2775284 {
+			t.Errorf("ns/op = %v", r.NsPerOp)
+		}
+		if r.Metrics["iterations"] != 1511 || r.Metrics["mctxs"] != 383 {
+			t.Errorf("metrics = %v", r.Metrics)
+		}
+	})
+	t.Run("rejects non-benchmark lines", func(t *testing.T) {
+		for _, line := range []string{
+			"goos: linux",
+			"PASS",
+			"ok  \tnadroid\t2.803s",
+			"BenchmarkBroken\tnot-a-number\t123 ns/op",
+			"",
+		} {
+			if _, ok := parseLine(line); ok {
+				t.Errorf("parsed %q, want rejection", line)
+			}
+		}
+	})
+}
+
+func recs(pairs map[string]float64) map[string]Record {
+	out := make(map[string]Record, len(pairs))
+	for name, ns := range pairs {
+		out[name] = Record{Name: name, Iters: 1, NsPerOp: ns}
+	}
+	return out
+}
+
+func TestDiffRecords(t *testing.T) {
+	oldRecs := recs(map[string]float64{
+		"BenchmarkStable":   100,
+		"BenchmarkFaster":   1000,
+		"BenchmarkSlower":   100,
+		"BenchmarkRemoved":  50,
+		"BenchmarkZeroBase": 0,
+	})
+	newRecs := recs(map[string]float64{
+		"BenchmarkStable":   104, // +4%, under the 10% threshold
+		"BenchmarkFaster":   250, // -75%
+		"BenchmarkSlower":   150, // +50%: regression
+		"BenchmarkAdded":    75,
+		"BenchmarkZeroBase": 10,
+	})
+	lines, regressions := diffRecords(oldRecs, newRecs, 10)
+	if regressions != 1 {
+		t.Errorf("regressions = %d, want 1 (only BenchmarkSlower)", regressions)
+	}
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines, want 6 (union of both sides):\n%s", len(lines), strings.Join(lines, "\n"))
+	}
+	find := func(name string) string {
+		for _, l := range lines {
+			if strings.HasPrefix(l, name) {
+				return l
+			}
+		}
+		t.Fatalf("no line for %s in:\n%s", name, strings.Join(lines, "\n"))
+		return ""
+	}
+	if l := find("BenchmarkAdded"); !strings.Contains(l, "(added)") {
+		t.Errorf("added line = %q", l)
+	}
+	if l := find("BenchmarkRemoved"); !strings.Contains(l, "(removed)") {
+		t.Errorf("removed line = %q", l)
+	}
+	if l := find("BenchmarkZeroBase"); !strings.Contains(l, "skipped") {
+		t.Errorf("zero-base line = %q", l)
+	}
+	if l := find("BenchmarkSlower"); !strings.Contains(l, "REGRESSION") || !strings.Contains(l, "+50.0%") {
+		t.Errorf("regression line = %q", l)
+	}
+	if l := find("BenchmarkFaster"); strings.Contains(l, "REGRESSION") || !strings.Contains(l, "-75.0%") {
+		t.Errorf("improvement line = %q", l)
+	}
+	if l := find("BenchmarkStable"); strings.Contains(l, "REGRESSION") {
+		t.Errorf("under-threshold line = %q", l)
+	}
+
+	// Sorted output is what keeps bench-diff logs diffable across runs.
+	for i := 1; i < len(lines); i++ {
+		if lines[i-1] > lines[i] {
+			t.Errorf("lines not sorted: %q before %q", lines[i-1], lines[i])
+		}
+	}
+}

@@ -29,6 +29,7 @@ func main() {
 		timing   = flag.Bool("timing", false, "phase breakdown (§8.8)")
 		validate = flag.Bool("validate", true, "dynamically validate Table 1 survivors")
 		budget   = flag.Int("budget", 3000, "schedule budget per warning when validating")
+		workers  = flag.Int("workers", 0, "apps analyzed concurrently for Table 1 (0 = GOMAXPROCS, 1 = sequential)")
 		out      = flag.String("out", "", "also write the artifact Result/ folder to this directory")
 		compare  = flag.Bool("compare", false, "regenerate every headline number and check it against the paper")
 	)
@@ -54,7 +55,7 @@ func main() {
 	var rows []eval.Table1Row
 	if *table1 || *timing {
 		var err error
-		rows, err = eval.Table1(eval.Table1Options{Validate: *validate, MaxSchedules: *budget})
+		rows, err = eval.Table1(eval.Table1Options{Validate: *validate, MaxSchedules: *budget, Workers: *workers})
 		if err != nil {
 			fatalf("table1: %v", err)
 		}
@@ -96,7 +97,7 @@ func main() {
 		fmt.Print(eval.RenderTiming(eval.Timing(rows)))
 	}
 	if *out != "" {
-		if err := eval.WriteArtifacts(*out, eval.Table1Options{Validate: *validate, MaxSchedules: *budget}); err != nil {
+		if err := eval.WriteArtifacts(*out, eval.Table1Options{Validate: *validate, MaxSchedules: *budget, Workers: *workers}); err != nil {
 			fatalf("artifacts: %v", err)
 		}
 		fmt.Printf("artifact files written under %s\n", *out)

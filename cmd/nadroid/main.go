@@ -38,6 +38,7 @@ import (
 func main() {
 	var (
 		appName   = flag.String("app", "", "analyze a built-in corpus app by name")
+		corpusAll = flag.Bool("corpus", false, "analyze every built-in corpus app (fan-out bounded by -workers)")
 		list      = flag.Bool("list", false, "list built-in corpus apps and exit")
 		dump      = flag.String("dump", "", "print a corpus app as dexasm and exit")
 		k         = flag.Int("k", 2, "points-to object-sensitivity depth")
@@ -96,6 +97,19 @@ func main() {
 			fatalf("unknown corpus app %q (use -list)", *dump)
 		}
 		fmt.Print(dexasm.Format(app.Build()))
+		return
+	}
+
+	if *corpusAll {
+		runCorpus(nadroid.CorpusOptions{
+			Workers: *workers,
+			Analysis: nadroid.Options{
+				K:                  *k,
+				SkipUnsoundFilters: *noUnsound,
+				Validate:           *validate,
+				Explore:            explore.Options{MaxSchedules: *budget},
+			},
+		}, *csv)
 		return
 	}
 
@@ -198,6 +212,45 @@ func main() {
 	}
 	fmt.Printf("timing: modeling %v, detection %v, filtering %v\n",
 		res.Timing.Modeling, res.Timing.Detection, res.Timing.Filtering)
+}
+
+// runCorpus sweeps every built-in corpus app through the pipeline on a
+// bounded worker pool and prints one summary line per app (corpus
+// order) plus the Table 1 aggregate counts.
+func runCorpus(opts nadroid.CorpusOptions, csv bool) {
+	var work []nadroid.CorpusApp
+	for _, app := range corpus.Apps() {
+		work = append(work, nadroid.CorpusApp{Name: app.Name(), Build: app.Build})
+	}
+	results := nadroid.AnalyzeCorpus(work, opts)
+	var pot, sound, unsound, harmful int
+	for _, r := range results {
+		if r.Err != nil {
+			fatalf("%s: %v", r.App, r.Err)
+		}
+		if csv {
+			fmt.Print(r.Result.Report.CSV())
+			continue
+		}
+		fmt.Printf("%-14s potential %4d  after-sound %4d  after-unsound %4d",
+			r.App, r.Result.Stats.Potential, r.Result.Stats.AfterSound, r.Result.Stats.AfterUnsound)
+		if opts.Analysis.Validate {
+			fmt.Printf("  harmful %d", len(r.Result.Harmful))
+		}
+		fmt.Println()
+		pot += r.Result.Stats.Potential
+		sound += r.Result.Stats.AfterSound
+		unsound += r.Result.Stats.AfterUnsound
+		harmful += len(r.Result.Harmful)
+	}
+	if !csv {
+		fmt.Printf("%-14s potential %4d  after-sound %4d  after-unsound %4d",
+			"TOTAL", pot, sound, unsound)
+		if opts.Analysis.Validate {
+			fmt.Printf("  harmful %d", harmful)
+		}
+		fmt.Println()
+	}
 }
 
 func loadPackage(appName, path string) (*apk.Package, error) {

@@ -61,10 +61,14 @@ type Table1Options struct {
 	MaxSchedules int
 	// Apps restricts the run to the named apps (nil = all 27).
 	Apps []string
+	// Workers bounds the corpus-level fan-out (apps analyzed
+	// concurrently). 0 selects GOMAXPROCS; 1 forces a sequential sweep.
+	// Rows come back in corpus order either way.
+	Workers int
 }
 
 // Table1 runs the full pipeline (and optional dynamic validation) over
-// the corpus.
+// the corpus, fanning independent apps across Workers.
 func Table1(opts Table1Options) ([]Table1Row, error) {
 	if opts.MaxSchedules <= 0 {
 		opts.MaxSchedules = 3000
@@ -73,19 +77,30 @@ func Table1(opts Table1Options) ([]Table1Row, error) {
 	for _, a := range opts.Apps {
 		want[a] = true
 	}
-	var rows []Table1Row
+	var sel []corpus.App
+	var work []nadroid.CorpusApp
 	for _, app := range corpus.Apps() {
 		if len(want) > 0 && !want[app.Name()] {
 			continue
 		}
-		pkg := app.Build()
-		res, err := nadroid.Analyze(pkg, nadroid.Options{
+		app := app
+		sel = append(sel, app)
+		work = append(work, nadroid.CorpusApp{Name: app.Name(), Build: app.Build})
+	}
+	results := nadroid.AnalyzeCorpus(work, nadroid.CorpusOptions{
+		Workers: opts.Workers,
+		Analysis: nadroid.Options{
 			Validate: opts.Validate,
 			Explore:  explore.Options{MaxSchedules: opts.MaxSchedules},
-		})
+		},
+	})
+	var rows []Table1Row
+	for i, app := range sel {
+		res, err := results[i].Result, results[i].Err
 		if err != nil {
 			return nil, fmt.Errorf("eval: %s: %v", app.Name(), err)
 		}
+		pkg := res.Model.Pkg
 		st := res.Model.Stats()
 		row := Table1Row{
 			Group:        app.Spec.Group,

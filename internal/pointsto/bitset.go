@@ -1,0 +1,141 @@
+package pointsto
+
+import "math/bits"
+
+// bitset is a word-packed object set indexed by ObjID. The zero value
+// is an empty set; words grow lazily as high object IDs are inserted.
+// Abstract-object counts per app are small (hundreds to low thousands),
+// so a dense representation from bit 0 is both the fastest and the
+// simplest choice: union is a word loop, iteration yields ObjIDs in
+// ascending order for free, and the per-var footprint is a few words.
+type bitset []uint64
+
+// add sets bit o and reports whether it was newly set.
+func (b *bitset) add(o ObjID) bool {
+	w, m := int(o>>6), uint64(1)<<(uint(o)&63)
+	s := *b
+	if w >= len(s) {
+		ns := make(bitset, w+1)
+		copy(ns, s)
+		s = ns
+		*b = s
+	}
+	if s[w]&m != 0 {
+		return false
+	}
+	s[w] |= m
+	return true
+}
+
+// has reports whether bit o is set.
+func (b bitset) has(o ObjID) bool {
+	w := int(o >> 6)
+	return w < len(b) && b[w]&(1<<(uint(o)&63)) != 0
+}
+
+// or unions other into b, returning the number of newly set bits.
+func (b *bitset) or(other bitset) int {
+	if len(other) == 0 {
+		return 0
+	}
+	s := *b
+	if len(other) > len(s) {
+		ns := make(bitset, len(other))
+		copy(ns, s)
+		s = ns
+		*b = s
+	}
+	added := 0
+	for w, ow := range other {
+		if nw := ow &^ s[w]; nw != 0 {
+			added += bits.OnesCount64(nw)
+			s[w] |= nw
+		}
+	}
+	return added
+}
+
+// orInto is or() plus delta tracking: bits newly set in b are also set
+// in delta. Returns the number of newly set bits.
+func (b *bitset) orInto(other bitset, delta *bitset) int {
+	if len(other) == 0 {
+		return 0
+	}
+	s := *b
+	if len(other) > len(s) {
+		ns := make(bitset, len(other))
+		copy(ns, s)
+		s = ns
+		*b = s
+	}
+	added := 0
+	for w, ow := range other {
+		nw := ow &^ s[w]
+		if nw == 0 {
+			continue
+		}
+		added += bits.OnesCount64(nw)
+		s[w] |= nw
+		d := *delta
+		if w >= len(d) {
+			nd := make(bitset, len(s))
+			copy(nd, d)
+			d = nd
+			*delta = d
+		}
+		d[w] |= nw
+	}
+	return added
+}
+
+// count returns the number of set bits.
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// empty reports whether no bit is set.
+func (b bitset) empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// forEach visits set bits in ascending ObjID order.
+func (b bitset) forEach(fn func(ObjID)) {
+	for w, word := range b {
+		for word != 0 {
+			tz := bits.TrailingZeros64(word)
+			fn(ObjID(w<<6 + tz))
+			word &= word - 1
+		}
+	}
+}
+
+// appendIDs appends the set bits in ascending order.
+func (b bitset) appendIDs(out []ObjID) []ObjID {
+	for w, word := range b {
+		for word != 0 {
+			tz := bits.TrailingZeros64(word)
+			out = append(out, ObjID(w<<6+tz))
+			word &= word - 1
+		}
+	}
+	return out
+}
+
+// clone returns an independent copy of b.
+func (b bitset) clone() bitset {
+	if len(b) == 0 {
+		return nil
+	}
+	out := make(bitset, len(b))
+	copy(out, b)
+	return out
+}

@@ -8,13 +8,19 @@
 // allocation was analyzed. Instance methods are analyzed once per
 // abstract receiver object (object sensitivity); static methods inherit
 // the caller's context.
+//
+// Internally the solver runs on a dense, interned constraint graph:
+// method refs, method contexts, field names, and static fields become
+// int32 handles; each method context owns a contiguous block of variable
+// IDs (one per register); points-to sets are word-packed bitsets with
+// difference propagation (each worklist drain pushes only the delta);
+// and copy-edge cycles are collapsed online through a path-compressed
+// union-find so context-cloned copy chains stop re-propagating.
 package pointsto
 
 import (
 	"context"
-	"fmt"
 	"sort"
-	"strings"
 
 	"nadroid/internal/cha"
 	"nadroid/internal/ir"
@@ -110,110 +116,24 @@ type Entry struct {
 	Receivers []ObjID
 }
 
-// Result is the solved points-to state.
-type Result struct {
-	h    *cha.Hierarchy
-	objs []Obj
-	// varPts maps (method-context, reg) to its points-to set.
-	varPts map[varKey]objSet
-	// mctxs enumerates analyzed method contexts.
-	mctxs map[mctxKey]bool
-	// calleeEdges records resolved call edges: (caller mctx, site idx) ->
-	// callee mctx, for clients that need a context-sensitive call graph.
-	calleeEdges map[edgeKey][]mctxKey
-	// fieldPts maps (obj, field name) to pointees.
-	fieldPts map[fieldKey]objSet
-	// staticPts maps "Class.field" to pointees.
-	staticPts map[string]objSet
-	// spawnEdges records resolved thread-spawn sites.
-	spawnEdges []SpawnEdge
-	spawnSeen  map[SpawnEdge]bool
-	// iterations is the worklist items drained by the solve.
-	iterations int
-}
-
-type objSet map[ObjID]struct{}
-
-type varKey struct {
-	method string
-	recv   ObjID // receiver object defining the context; -1 for none
-	reg    int
-}
-
-type mctxKey struct {
-	method string
-	recv   ObjID
-}
-
-type edgeKey struct {
-	caller mctxKey
-	site   int
-}
-
-type fieldKey struct {
-	obj   ObjID
-	field string
-}
-
 // NoRecv is the receiver value for context-free (static/entry) contexts.
 const NoRecv = ObjID(-1)
 
-// solver carries mutable analysis state.
-type solver struct {
-	h    *cha.Hierarchy
-	opts Options
-	res  *Result
-
-	objIdx map[Obj]ObjID
-	// copyEdges propagate points-to sets var -> var.
-	copyEdges map[varKey][]varKey
-	// loads[base] and stores[base] are field constraints re-triggered
-	// when base grows.
-	loads  map[varKey][]fieldConstraint
-	stores map[varKey][]fieldConstraint
-	// invokes[base] are call sites re-triggered when base grows.
-	invokes map[varKey][]invokeConstraint
-	// storeSrcs[src] lists (base, field) stores whose value is src.
-	storeSrcs map[varKey][]storeSource
-	// spawns[v] lists spawn constraints triggered when v grows.
-	spawns map[varKey][]spawnConstraint
-	// fieldLoadInto[fk] lists destination vars fed by a field.
-	fieldLoadInto map[fieldKey][]varKey
-	// work is the worklist of vars whose sets grew.
-	work []varKey
-	// delta holds pending additions per var.
-	delta map[varKey]objSet
-	// processed method contexts.
-	done map[mctxKey]bool
-	// origins caches per-method origin info for receiver sharpening.
-	origins map[string]*ir.OriginInfo
-}
-
-type fieldConstraint struct {
-	field string
-	other varKey // dst for loads, src for stores
-}
-
-type invokeConstraint struct {
-	caller mctxKey
-	idx    int
-}
-
-type spawnConstraint struct {
-	caller mctxKey
-	idx    int
-	spec   SpawnSpec
-}
-
-// Solve runs the analysis from the given entries.
-func Solve(h *cha.Hierarchy, entries []Entry, opts Options) *Result {
-	return SolveWithSynthetics(h, nil, entries, opts)
+// Result is the solved points-to state. Accessors are safe for
+// concurrent use: the union-find is fully flattened when the solve
+// finishes, so lookups never mutate shared state.
+type Result struct {
+	c *core
 }
 
 // SolveStats summarizes the work a solve did.
 type SolveStats struct {
 	// Iterations is the number of worklist items drained to fixpoint.
 	Iterations int
+	// DeltaObjs is the total number of objects pushed through worklist
+	// deltas — the difference-propagation volume (each drain moves only
+	// the new objects, not the var's full set).
+	DeltaObjs int
 	// VarFacts is the total points-to tuple count over all variables.
 	VarFacts int
 	// Objects is the abstract-object count (synthetics included).
@@ -224,22 +144,27 @@ type SolveStats struct {
 
 // Stats recomputes the solve summary from the result (O(vars)).
 func (r *Result) Stats() SolveStats {
-	st := SolveStats{Iterations: r.iterations, Objects: len(r.objs), MCtxs: len(r.mctxs)}
-	for _, set := range r.varPts {
-		st.VarFacts += len(set)
+	c := r.c
+	st := SolveStats{
+		Iterations: c.iterations,
+		DeltaObjs:  int(c.deltaObjs),
+		Objects:    len(c.objs),
+		MCtxs:      len(c.mctxs),
+	}
+	for _, mc := range c.mctxs {
+		if mc.varBase < 0 {
+			continue
+		}
+		for reg := int32(0); reg < mc.nregs; reg++ {
+			st.VarFacts += c.varPts[c.root(mc.varBase+varID(reg))].count()
+		}
 	}
 	return st
 }
 
-// internObj interns an abstract object, returning its stable id.
-func (r *Result) internObj(o Obj, s *solver) ObjID {
-	if id, ok := s.objIdx[o]; ok {
-		return id
-	}
-	id := ObjID(len(r.objs))
-	r.objs = append(r.objs, o)
-	s.objIdx[o] = id
-	return id
+// Solve runs the analysis from the given entries.
+func Solve(h *cha.Hierarchy, entries []Entry, opts Options) *Result {
+	return SolveWithSynthetics(h, nil, entries, opts)
 }
 
 // SolveWithSynthetics runs Solve with pre-interned synthetic objects:
@@ -252,530 +177,88 @@ func SolveWithSynthetics(h *cha.Hierarchy, synths []Obj, entries []Entry, opts O
 
 // SolveWithSyntheticsContext is SolveWithSynthetics under an
 // observability context: the solve runs inside a "pointsto.solve" span
-// and reports iteration/fact/object counts as pipeline counters.
+// and reports iteration/delta/fact/object counts as pipeline counters.
 func SolveWithSyntheticsContext(ctx context.Context, h *cha.Hierarchy, synths []Obj, entries []Entry, opts Options) *Result {
 	_, span := obs.Start(ctx, "pointsto.solve", obs.KV("k", opts.K), obs.KV("entries", len(entries)))
 	res := solveWithSynthetics(h, synths, entries, opts)
 	st := res.Stats()
 	span.SetAttr("iterations", st.Iterations)
+	span.SetAttr("delta_objs", st.DeltaObjs)
 	span.SetAttr("var_facts", st.VarFacts)
 	span.SetAttr("objects", st.Objects)
 	span.SetAttr("mctxs", st.MCtxs)
 	span.End()
 	obs.Add(ctx, "pointsto_iterations", int64(st.Iterations))
+	obs.Add(ctx, "pointsto_delta_objs", int64(st.DeltaObjs))
 	obs.Add(ctx, "pointsto_var_facts", int64(st.VarFacts))
 	obs.Add(ctx, "pointsto_objects", int64(st.Objects))
 	obs.Add(ctx, "pointsto_mctxs", int64(st.MCtxs))
 	return res
 }
 
-func solveWithSynthetics(h *cha.Hierarchy, synths []Obj, entries []Entry, opts Options) *Result {
-	if opts.K < 1 {
-		opts.K = 2
-	}
-	res := &Result{
-		h:           h,
-		varPts:      make(map[varKey]objSet),
-		mctxs:       make(map[mctxKey]bool),
-		calleeEdges: make(map[edgeKey][]mctxKey),
-		fieldPts:    make(map[fieldKey]objSet),
-		staticPts:   make(map[string]objSet),
-		spawnSeen:   make(map[SpawnEdge]bool),
-	}
-	s := &solver{
-		h:             h,
-		opts:          opts,
-		res:           res,
-		objIdx:        make(map[Obj]ObjID),
-		copyEdges:     make(map[varKey][]varKey),
-		loads:         make(map[varKey][]fieldConstraint),
-		stores:        make(map[varKey][]fieldConstraint),
-		invokes:       make(map[varKey][]invokeConstraint),
-		storeSrcs:     make(map[varKey][]storeSource),
-		spawns:        make(map[varKey][]spawnConstraint),
-		fieldLoadInto: make(map[fieldKey][]varKey),
-		delta:         make(map[varKey]objSet),
-		done:          make(map[mctxKey]bool),
-		origins:       make(map[string]*ir.OriginInfo),
-	}
-	for _, o := range synths {
-		res.internObj(o, s)
-	}
-	for _, e := range entries {
-		if e.Method == nil || e.Method.Abstract {
-			continue
-		}
-		if len(e.Receivers) == 0 {
-			s.processMethod(mctxKey{method: e.Method.Ref(), recv: NoRecv})
-			continue
-		}
-		for _, recv := range e.Receivers {
-			mc := mctxKey{method: e.Method.Ref(), recv: recv}
-			s.processMethod(mc)
-			s.addObj(varKey{e.Method.Ref(), recv, e.Method.ThisReg()}, recv)
-		}
-	}
-	s.run()
-	return res
-}
-
-// heapCtxOf derives the heap context for allocations analyzed under
-// receiver recv: [recv.Site | recv.Ctx] truncated to k-1 sites.
-func (s *solver) heapCtxOf(recv ObjID) string {
-	if recv == NoRecv || s.opts.K <= 1 {
-		return ""
-	}
-	ro := s.res.objs[recv]
-	parts := []string{ro.Site}
-	if ro.Ctx != "" {
-		parts = append(parts, strings.Split(ro.Ctx, "|")...)
-	}
-	if len(parts) > s.opts.K-1 {
-		parts = parts[:s.opts.K-1]
-	}
-	return strings.Join(parts, "|")
-}
-
-// processMethod installs the constraints of one method context.
-func (s *solver) processMethod(mc mctxKey) {
-	if s.done[mc] {
-		return
-	}
-	s.done[mc] = true
-	s.res.mctxs[mc] = true
-	m, err := s.h.MethodByRef(mc.method)
-	if err != nil || m.Abstract {
-		return
-	}
-	oi := s.originOf(m)
-	hctx := s.heapCtxOf(mc.recv)
-	vk := func(reg int) varKey { return varKey{mc.method, mc.recv, reg} }
-	for i, in := range m.Instrs {
-		switch in.Op {
-		case ir.OpNew:
-			obj := s.res.internObj(Obj{
-				Site:  fmt.Sprintf("%s:%d", mc.method, i),
-				Class: in.Type,
-				Ctx:   hctx,
-			}, s)
-			s.addObj(vk(in.A), obj)
-		case ir.OpMove:
-			s.addCopy(vk(in.B), vk(in.A))
-		case ir.OpGetField:
-			base := vk(in.B)
-			s.loads[base] = append(s.loads[base], fieldConstraint{in.Field.Name, vk(in.A)})
-			s.retrigger(base)
-		case ir.OpPutField:
-			base, src := vk(in.B), vk(in.A)
-			s.stores[base] = append(s.stores[base], fieldConstraint{in.Field.Name, src})
-			s.storeSrcs[src] = append(s.storeSrcs[src], storeSource{baseVar: base, field: in.Field.Name})
-			s.retrigger(base)
-			s.retrigger(src)
-		case ir.OpGetStatic:
-			s.addStaticLoad(in.Field.String(), vk(in.A))
-		case ir.OpPutStatic:
-			s.addStaticStore(vk(in.A), in.Field.String())
-		case ir.OpInvoke:
-			if s.opts.SkipCall != nil && s.opts.SkipCall(m, i, in) {
-				continue
-			}
-			if s.opts.Factory != nil && in.A != ir.NoReg {
-				if cls, ok := s.opts.Factory(m, i, in); ok {
-					obj := s.res.internObj(Obj{
-						Site:  fmt.Sprintf("%s:%d", mc.method, i),
-						Class: cls,
-						Ctx:   hctx,
-					}, s)
-					s.addObj(vk(in.A), obj)
-					continue
-				}
-			}
-			if s.opts.Spawner != nil {
-				if specs := s.opts.Spawner(m, i, in); len(specs) > 0 {
-					for _, spec := range specs {
-						var target varKey
-						if spec.FromArg < 0 {
-							target = vk(in.B)
-						} else if spec.FromArg < len(in.Args) {
-							target = vk(in.Args[spec.FromArg])
-						} else {
-							continue
-						}
-						s.spawns[target] = append(s.spawns[target], spawnConstraint{mc, i, spec})
-						s.retrigger(target)
-					}
-					continue // spawn sites are not synchronous calls
-				}
-			}
-			base := vk(in.B)
-			s.invokes[base] = append(s.invokes[base], invokeConstraint{mc, i})
-			s.retrigger(base)
-		case ir.OpInvokeStatic:
-			if s.opts.SkipCall != nil && s.opts.SkipCall(m, i, in) {
-				continue
-			}
-			s.linkStaticCall(mc, m, i, in)
-		case ir.OpReturn:
-			// Handled at call sites via returnVar linking.
-		}
-	}
-	_ = oi
-}
-
-// returnVarsOf lists registers returned by a method.
-func returnRegsOf(m *ir.Method) []int {
-	var out []int
-	for _, in := range m.Instrs {
-		if in.Op == ir.OpReturn && in.A != ir.NoReg {
-			out = append(out, in.A)
-		}
-	}
-	return out
-}
-
-func (s *solver) originOf(m *ir.Method) *ir.OriginInfo {
-	oi, ok := s.origins[m.Ref()]
-	if !ok {
-		oi = ir.ComputeOrigins(m)
-		s.origins[m.Ref()] = oi
-	}
-	return oi
-}
-
-// linkStaticCall wires a static call in caller context mc.
-func (s *solver) linkStaticCall(mc mctxKey, m *ir.Method, idx int, in ir.Instr) {
-	target := s.h.Resolve(in.Callee.Class, in.Callee.Name)
-	if target == nil || target.Abstract {
-		return
-	}
-	callee := mctxKey{method: target.Ref(), recv: mc.recv} // statics inherit caller ctx
-	s.processMethod(callee)
-	s.res.calleeEdges[edgeKey{mc, idx}] = appendUniqueMctx(s.res.calleeEdges[edgeKey{mc, idx}], callee)
-	for ai, areg := range in.Args {
-		if ai >= target.NumArgs {
-			break
-		}
-		s.addCopy(varKey{mc.method, mc.recv, areg}, varKey{callee.method, callee.recv, target.ArgReg(ai)})
-	}
-	if in.A != ir.NoReg {
-		for _, rr := range returnRegsOf(target) {
-			s.addCopy(varKey{callee.method, callee.recv, rr}, varKey{mc.method, mc.recv, in.A})
-		}
-	}
-}
-
-// linkVirtualCall wires one resolved virtual dispatch for receiver obj.
-func (s *solver) linkVirtualCall(ic invokeConstraint, recvObj ObjID) {
-	caller, err := s.h.MethodByRef(ic.caller.method)
-	if err != nil {
-		return
-	}
-	in := caller.Instrs[ic.idx]
-	cls := s.res.objs[recvObj].Class
-	if !s.h.IsSubtypeOf(cls, in.Callee.Class) {
-		// The receiver set can contain objects of unrelated types when a
-		// variable merges flows; dispatching on them would be spurious.
-		return
-	}
-	target := s.h.Resolve(cls, in.Callee.Name)
-	if target == nil || target.Abstract {
-		return
-	}
-	callee := mctxKey{method: target.Ref(), recv: recvObj}
-	s.processMethod(callee)
-	s.res.calleeEdges[edgeKey{ic.caller, ic.idx}] = appendUniqueMctx(s.res.calleeEdges[edgeKey{ic.caller, ic.idx}], callee)
-	// Receiver binding.
-	s.addObj(varKey{callee.method, callee.recv, target.ThisReg()}, recvObj)
-	for ai, areg := range in.Args {
-		if ai >= target.NumArgs {
-			break
-		}
-		s.addCopy(varKey{ic.caller.method, ic.caller.recv, areg}, varKey{callee.method, callee.recv, target.ArgReg(ai)})
-	}
-	if in.A != ir.NoReg {
-		for _, rr := range returnRegsOf(target) {
-			s.addCopy(varKey{callee.method, callee.recv, rr}, varKey{ic.caller.method, ic.caller.recv, in.A})
-		}
-	}
-}
-
-func appendUniqueMctx(list []mctxKey, mc mctxKey) []mctxKey {
-	for _, e := range list {
-		if e == mc {
-			return list
-		}
-	}
-	return append(list, mc)
-}
-
-// addCopy installs src ⊆ dst and propagates existing facts.
-func (s *solver) addCopy(src, dst varKey) {
-	for _, e := range s.copyEdges[src] {
-		if e == dst {
-			return
-		}
-	}
-	s.copyEdges[src] = append(s.copyEdges[src], dst)
-	for o := range s.res.varPts[src] {
-		s.addObj(dst, o)
-	}
-}
-
-func (s *solver) addStaticLoad(field string, dst varKey) {
-	fk := fieldKey{obj: -2, field: field} // -2 namespace for statics
-	s.fieldLoadInto[fk] = append(s.fieldLoadInto[fk], dst)
-	for o := range s.res.staticPts[field] {
-		s.addObj(dst, o)
-	}
-}
-
-func (s *solver) addStaticStore(src varKey, field string) {
-	// Model a static field as a copy target keyed by name.
-	s.stores[src] = append(s.stores[src], fieldConstraint{field: "static:" + field, other: varKey{}})
-	for o := range s.res.varPts[src] {
-		s.addToStatic(field, o)
-	}
-	// Also re-trigger on growth: handled in flush via stores with
-	// "static:" prefix.
-}
-
-func (s *solver) addToStatic(field string, o ObjID) {
-	set, ok := s.res.staticPts[field]
-	if !ok {
-		set = make(objSet)
-		s.res.staticPts[field] = set
-	}
-	if _, has := set[o]; has {
-		return
-	}
-	set[o] = struct{}{}
-	fk := fieldKey{obj: -2, field: field}
-	for _, dst := range s.fieldLoadInto[fk] {
-		s.addObj(dst, o)
-	}
-}
-
-// addObj adds one object to a var's set, scheduling propagation.
-func (s *solver) addObj(v varKey, o ObjID) {
-	set, ok := s.res.varPts[v]
-	if !ok {
-		set = make(objSet)
-		s.res.varPts[v] = set
-	}
-	if _, has := set[o]; has {
-		return
-	}
-	set[o] = struct{}{}
-	d, ok := s.delta[v]
-	if !ok {
-		d = make(objSet)
-		s.delta[v] = d
-		s.work = append(s.work, v)
-	}
-	d[o] = struct{}{}
-}
-
-// addToField adds o to (obj, field), feeding dependent loads.
-func (s *solver) addToField(obj ObjID, field string, o ObjID) {
-	fk := fieldKey{obj, field}
-	set, ok := s.res.fieldPts[fk]
-	if !ok {
-		set = make(objSet)
-		s.res.fieldPts[fk] = set
-	}
-	if _, has := set[o]; has {
-		return
-	}
-	set[o] = struct{}{}
-	for _, dst := range s.fieldLoadInto[fk] {
-		s.addObj(dst, o)
-	}
-}
-
-// retrigger reprocesses constraints hanging off v against its full set.
-func (s *solver) retrigger(v varKey) {
-	if set, ok := s.res.varPts[v]; ok && len(set) > 0 {
-		d, pending := s.delta[v]
-		if !pending {
-			d = make(objSet)
-			s.delta[v] = d
-			s.work = append(s.work, v)
-		}
-		for o := range set {
-			d[o] = struct{}{}
-		}
-	}
-}
-
-// run drains the worklist to fixpoint.
-func (s *solver) run() {
-	for len(s.work) > 0 {
-		s.res.iterations++
-		v := s.work[len(s.work)-1]
-		s.work = s.work[:len(s.work)-1]
-		d := s.delta[v]
-		delete(s.delta, v)
-		if len(d) == 0 {
-			continue
-		}
-		// Copies.
-		for _, dst := range s.copyEdges[v] {
-			for o := range d {
-				s.addObj(dst, o)
-			}
-		}
-		// Loads: new base objects feed their field contents into dst.
-		for _, lc := range s.loads[v] {
-			for base := range d {
-				fk := fieldKey{base, lc.field}
-				s.fieldLoadInto[fk] = appendUniqueVar(s.fieldLoadInto[fk], lc.other)
-				for o := range s.res.fieldPts[fk] {
-					s.addObj(lc.other, o)
-				}
-			}
-		}
-		// Stores where v is the base: everything in src flows into field.
-		for _, sc := range s.stores[v] {
-			if strings.HasPrefix(sc.field, "static:") {
-				for o := range d {
-					s.addToStatic(strings.TrimPrefix(sc.field, "static:"), o)
-				}
-				continue
-			}
-			for base := range d {
-				for o := range s.res.varPts[sc.other] {
-					s.addToField(base, sc.field, o)
-				}
-			}
-		}
-		// Stores where v is the source: flow new objects into all bases.
-		for _, rc := range s.storeSrcs[v] {
-			for base := range s.res.varPts[rc.baseVar] {
-				for o := range d {
-					s.addToField(base, rc.field, o)
-				}
-			}
-		}
-		// Invokes.
-		for _, ic := range s.invokes[v] {
-			for recv := range d {
-				s.linkVirtualCall(ic, recv)
-			}
-		}
-		// Spawns.
-		for _, sc := range s.spawns[v] {
-			for target := range d {
-				s.linkSpawn(sc, target)
-			}
-		}
-	}
-}
-
-// linkSpawn wires one spawn site to a concrete target object: every
-// spec'd method resolvable on the object's class becomes a spawned-thread
-// entry context.
-func (s *solver) linkSpawn(sc spawnConstraint, target ObjID) {
-	caller, err := s.h.MethodByRef(sc.caller.method)
-	if err != nil {
-		return
-	}
-	in := caller.Instrs[sc.idx]
-	cls := s.res.objs[target].Class
-	for _, name := range sc.spec.Methods {
-		tm := s.h.Resolve(cls, name)
-		if tm == nil || tm.Abstract {
-			continue
-		}
-		callee := mctxKey{method: tm.Ref(), recv: target}
-		edge := SpawnEdge{
-			CallerMethod: sc.caller.method,
-			CallerRecv:   sc.caller.recv,
-			Site:         sc.idx,
-			Tag:          sc.spec.Tag,
-			TargetMethod: tm.Ref(),
-			TargetRecv:   target,
-		}
-		if s.res.spawnSeen[edge] {
-			continue
-		}
-		s.res.spawnSeen[edge] = true
-		s.res.spawnEdges = append(s.res.spawnEdges, edge)
-		s.processMethod(callee)
-		s.addObj(varKey{callee.method, callee.recv, tm.ThisReg()}, target)
-		// Bind the spawn call's arguments positionally (covers
-		// sendMessage's Message flowing into handleMessage).
-		for ai, areg := range in.Args {
-			if ai >= tm.NumArgs {
-				break
-			}
-			s.addCopy(varKey{sc.caller.method, sc.caller.recv, areg}, varKey{callee.method, callee.recv, tm.ArgReg(ai)})
-		}
-	}
-}
-
-// storeSource tracks that v appears as the stored value of (base, field).
-type storeSource struct {
-	baseVar varKey
-	field   string
-}
-
-func appendUniqueVar(list []varKey, v varKey) []varKey {
-	for _, e := range list {
-		if e == v {
-			return list
-		}
-	}
-	return append(list, v)
-}
-
 // --- Result accessors -------------------------------------------------
 
 // Objects returns the interned object table.
-func (r *Result) Objects() []Obj { return r.objs }
+func (r *Result) Objects() []Obj { return r.c.objs }
 
 // Obj returns the descriptor for id.
-func (r *Result) Obj(id ObjID) Obj { return r.objs[id] }
+func (r *Result) Obj(id ObjID) Obj { return r.c.objs[id] }
+
+// varSet returns the points-to bitset of (method, recv, reg), or nil.
+func (r *Result) varSet(method string, recv ObjID, reg int) bitset {
+	c := r.c
+	mid, ok := c.methodIdx[method]
+	if !ok {
+		return nil
+	}
+	mc, ok := c.mctxIdx[mctxKeyOf(mid, recv)]
+	if !ok {
+		return nil
+	}
+	info := &c.mctxs[mc]
+	if info.varBase < 0 || reg < 0 || reg >= int(info.nregs) {
+		return nil
+	}
+	return c.varPts[c.root(info.varBase+varID(reg))]
+}
 
 // PointsTo returns the sorted points-to set of register reg of method
 // (by canonical ref) under the context keyed by receiver object recv.
 func (r *Result) PointsTo(method string, recv ObjID, reg int) []ObjID {
-	set := r.varPts[varKey{method, recv, reg}]
-	out := make([]ObjID, 0, len(set))
-	for o := range set {
-		out = append(out, o)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	set := r.varSet(method, recv, reg)
+	return set.appendIDs(make([]ObjID, 0, set.count()))
 }
 
 // PointsToAnyCtx unions the points-to sets of reg across every analyzed
 // context of method.
 func (r *Result) PointsToAnyCtx(method string, reg int) []ObjID {
-	seen := make(objSet)
-	for mc := range r.mctxs {
-		if mc.method != method {
+	c := r.c
+	mid, ok := c.methodIdx[method]
+	if !ok {
+		return nil
+	}
+	var union bitset
+	for _, mc := range c.methodMctxs[mid] {
+		info := &c.mctxs[mc]
+		if info.varBase < 0 || reg < 0 || reg >= int(info.nregs) {
 			continue
 		}
-		for o := range r.varPts[varKey{method, mc.recv, reg}] {
-			seen[o] = struct{}{}
-		}
+		union.or(c.varPts[c.root(info.varBase+varID(reg))])
 	}
-	out := make([]ObjID, 0, len(seen))
-	for o := range seen {
-		out = append(out, o)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return union.appendIDs(nil)
 }
 
 // ContextsOf returns the receiver objects under which method was
 // analyzed (NoRecv for context-free).
 func (r *Result) ContextsOf(method string) []ObjID {
+	c := r.c
+	mid, ok := c.methodIdx[method]
+	if !ok {
+		return nil
+	}
 	var out []ObjID
-	for mc := range r.mctxs {
-		if mc.method == method {
-			out = append(out, mc.recv)
-		}
+	for _, mc := range c.methodMctxs[mid] {
+		out = append(out, c.mctxs[mc].recv)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -783,18 +266,18 @@ func (r *Result) ContextsOf(method string) []ObjID {
 
 // Reachable reports whether method was analyzed under any context.
 func (r *Result) Reachable(method string) bool {
-	return len(r.ContextsOf(method)) > 0
+	mid, ok := r.c.methodIdx[method]
+	return ok && len(r.c.methodMctxs[mid]) > 0
 }
 
 // ReachableMethods lists every analyzed method ref, sorted.
 func (r *Result) ReachableMethods() []string {
-	seen := make(map[string]bool)
-	for mc := range r.mctxs {
-		seen[mc.method] = true
-	}
-	out := make([]string, 0, len(seen))
-	for m := range seen {
-		out = append(out, m)
+	c := r.c
+	out := make([]string, 0, len(c.methodNames))
+	for mid, name := range c.methodNames {
+		if len(c.methodMctxs[mid]) > 0 {
+			out = append(out, name)
+		}
 	}
 	sort.Strings(out)
 	return out
@@ -802,31 +285,34 @@ func (r *Result) ReachableMethods() []string {
 
 // FieldPointsTo returns the pointees of (obj, field), sorted.
 func (r *Result) FieldPointsTo(obj ObjID, field string) []ObjID {
-	set := r.fieldPts[fieldKey{obj, field}]
-	out := make([]ObjID, 0, len(set))
-	for o := range set {
-		out = append(out, o)
+	c := r.c
+	fid, ok := c.fieldIdx[field]
+	if !ok {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	si, ok := c.fpIdx[fpKeyOf(obj, fid)]
+	if !ok {
+		return nil
+	}
+	return c.fpSets[si].appendIDs(nil)
 }
 
 // StaticPointsTo returns the pointees of a static field "Class.name".
 func (r *Result) StaticPointsTo(field string) []ObjID {
-	set := r.staticPts[field]
-	out := make([]ObjID, 0, len(set))
-	for o := range set {
-		out = append(out, o)
+	c := r.c
+	sid, ok := c.staticIdx[field]
+	if !ok {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return c.staticSets[sid].appendIDs(nil)
 }
 
 // CalleesAt returns callee method refs resolved at (method, recv, site).
 func (r *Result) CalleesAt(method string, recv ObjID, site int) []string {
+	c := r.c
 	var out []string
-	for _, mc := range r.calleeEdges[edgeKey{mctxKey{method, recv}, site}] {
-		out = append(out, mc.method)
+	for _, mc := range r.calleeMctxsAt(method, recv, site) {
+		out = append(out, c.methodNames[c.mctxs[mc].method])
 	}
 	sort.Strings(out)
 	return out
@@ -837,15 +323,16 @@ func (r *Result) CalleeContextsAt(method string, recv ObjID, site int) []struct 
 	Method string
 	Recv   ObjID
 } {
+	c := r.c
 	var out []struct {
 		Method string
 		Recv   ObjID
 	}
-	for _, mc := range r.calleeEdges[edgeKey{mctxKey{method, recv}, site}] {
+	for _, mc := range r.calleeMctxsAt(method, recv, site) {
 		out = append(out, struct {
 			Method string
 			Recv   ObjID
-		}{mc.Method(), mc.recv})
+		}{c.methodNames[c.mctxs[mc].method], c.mctxs[mc].recv})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Method != out[j].Method {
@@ -856,24 +343,37 @@ func (r *Result) CalleeContextsAt(method string, recv ObjID, site int) []struct 
 	return out
 }
 
-// Method exposes the method of an mctxKey (for CalleeContextsAt).
-func (mc mctxKey) Method() string { return mc.method }
+func (r *Result) calleeMctxsAt(method string, recv ObjID, site int) []mctxID {
+	c := r.c
+	mid, ok := c.methodIdx[method]
+	if !ok {
+		return nil
+	}
+	mc, ok := c.mctxIdx[mctxKeyOf(mid, recv)]
+	if !ok {
+		return nil
+	}
+	return c.calleeEdges[edgeKeyOf(mc, int32(site))]
+}
 
 // SpawnEdges returns the resolved spawn edges in discovery order.
-func (r *Result) SpawnEdges() []SpawnEdge { return r.spawnEdges }
+func (r *Result) SpawnEdges() []SpawnEdge { return r.c.spawnEdges }
 
 // CallEdges flattens the context-sensitive call graph. Edges are sorted
 // for deterministic consumption.
 func (r *Result) CallEdges() []CallEdge {
+	c := r.c
 	var out []CallEdge
-	for ek, callees := range r.calleeEdges {
+	for ek, callees := range c.calleeEdges {
+		caller := &c.mctxs[mctxID(ek>>32)]
+		site := int(int32(uint32(ek)))
 		for _, mc := range callees {
 			out = append(out, CallEdge{
-				CallerMethod: ek.caller.method,
-				CallerRecv:   ek.caller.recv,
-				Site:         ek.site,
-				CalleeMethod: mc.method,
-				CalleeRecv:   mc.recv,
+				CallerMethod: c.methodNames[caller.method],
+				CallerRecv:   caller.recv,
+				Site:         site,
+				CalleeMethod: c.methodNames[c.mctxs[mc].method],
+				CalleeRecv:   c.mctxs[mc].recv,
 			})
 		}
 	}
@@ -897,4 +397,4 @@ func (r *Result) CallEdges() []CallEdge {
 }
 
 // Hierarchy returns the class hierarchy the result was solved against.
-func (r *Result) Hierarchy() *cha.Hierarchy { return r.h }
+func (r *Result) Hierarchy() *cha.Hierarchy { return r.c.h }

@@ -163,15 +163,34 @@ func Build(pkg *apk.Package, opts Options) (*Model, error) {
 	return BuildContext(context.Background(), pkg, opts)
 }
 
-// BuildContext is Build under an observability context: the points-to
-// solve and thread attachment run in their own spans, and the modeled
-// thread / spawn-edge counts land in the pipeline counters.
-func BuildContext(ctx context.Context, pkg *apk.Package, opts Options) (*Model, error) {
+// ecSeed is one discovered entry callback.
+type ecSeed struct {
+	mctx      MCtx
+	origin    string
+	component string
+}
+
+// SolveInputs bundles everything BuildContext feeds the points-to
+// solver: the hierarchy, the synthetic component objects, the entry
+// contexts, and the solver options (spawn/factory oracles included).
+// PrepareSolve exposes it so benchmarks and tools can measure or rerun
+// pointsto.Solve in isolation without duplicating the setup.
+type SolveInputs struct {
+	H       *cha.Hierarchy
+	Synths  []pointsto.Obj
+	Entries []pointsto.Entry
+	Opts    pointsto.Options
+
+	seeds   []ecSeed
+	compObj map[string]pointsto.ObjID
+}
+
+// PrepareSolve runs every modeling step up to (but excluding) the
+// points-to solve: component discovery, entry-callback seeding, and
+// oracle construction.
+func PrepareSolve(pkg *apk.Package, opts Options) (*SolveInputs, error) {
 	if opts.K <= 0 {
 		opts.K = 2
-	}
-	if opts.MaxThreads <= 0 {
-		opts.MaxThreads = 4096
 	}
 	h := cha.New(pkg.Program)
 
@@ -189,11 +208,6 @@ func BuildContext(ctx context.Context, pkg *apk.Package, opts Options) (*Model, 
 	}
 
 	// Entry callbacks: lifecycle methods declared on component classes.
-	type ecSeed struct {
-		mctx      MCtx
-		origin    string
-		component string
-	}
 	var seeds []ecSeed
 	for _, comp := range pkg.Manifest.Components() {
 		names := entryCallbackNames(pkg.Program, comp)
@@ -210,7 +224,6 @@ func BuildContext(ctx context.Context, pkg *apk.Package, opts Options) (*Model, 
 		}
 	}
 
-	// Points-to solve with spawn discovery.
 	oracle := newOracle(h)
 	var entries []pointsto.Entry
 	for _, s := range seeds {
@@ -220,11 +233,35 @@ func BuildContext(ctx context.Context, pkg *apk.Package, opts Options) (*Model, 
 		}
 		entries = append(entries, pointsto.Entry{Method: m, Receivers: []pointsto.ObjID{s.mctx.Recv}})
 	}
-	pts := pointsto.SolveWithSyntheticsContext(ctx, h, synths, entries, pointsto.Options{
-		K:       opts.K,
-		Spawner: oracle.classify,
-		Factory: oracle.factory,
-	})
+	return &SolveInputs{
+		H:       h,
+		Synths:  synths,
+		Entries: entries,
+		Opts: pointsto.Options{
+			K:       opts.K,
+			Spawner: oracle.classify,
+			Factory: oracle.factory,
+		},
+		seeds:   seeds,
+		compObj: compObj,
+	}, nil
+}
+
+// BuildContext is Build under an observability context: the points-to
+// solve and thread attachment run in their own spans, and the modeled
+// thread / spawn-edge counts land in the pipeline counters.
+func BuildContext(ctx context.Context, pkg *apk.Package, opts Options) (*Model, error) {
+	if opts.MaxThreads <= 0 {
+		opts.MaxThreads = 4096
+	}
+	si, err := PrepareSolve(pkg, opts)
+	if err != nil {
+		return nil, err
+	}
+	h, compObj, seeds := si.H, si.compObj, si.seeds
+
+	// Points-to solve with spawn discovery.
+	pts := pointsto.SolveWithSyntheticsContext(ctx, h, si.Synths, si.Entries, si.Opts)
 
 	m := &Model{
 		Pkg:     pkg,
@@ -252,7 +289,7 @@ func BuildContext(ctx context.Context, pkg *apk.Package, opts Options) (*Model, 
 	}
 
 	_, span := obs.Start(ctx, "threadify.attach")
-	err := m.attachSpawnedThreads(opts.MaxThreads)
+	err = m.attachSpawnedThreads(opts.MaxThreads)
 	span.SetAttr("threads", len(m.Threads))
 	span.End()
 	if err != nil {

@@ -1,0 +1,148 @@
+// nadroid_golden_test.go is the full-corpus differential gate for the
+// points-to core: every app's warning counts, report text, and CSV must
+// stay byte-for-byte identical to the goldens captured from the seed
+// solver (the map-based solver this repo grew up with), at worker
+// counts 1 and 8. Any solver rewrite that shifts a points-to set, a
+// spawn-edge discovery, or a thread numbering shows up here as a diff
+// against testdata/golden/.
+//
+// Regenerate (only when an intentional semantic change is reviewed):
+//
+//	go test -run TestCorpusGolden -update-golden
+package nadroid_test
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nadroid"
+	"nadroid/internal/corpus"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden from the current solver")
+
+// goldenCounts is the per-app record in testdata/golden/corpus.json.
+type goldenCounts struct {
+	App          string `json:"app"`
+	Potential    int    `json:"potential"`
+	AfterSound   int    `json:"after_sound"`
+	AfterUnsound int    `json:"after_unsound"`
+}
+
+const goldenDir = "testdata/golden"
+
+func goldenReportPath(app string) string { return filepath.Join(goldenDir, app+".report.txt") }
+func goldenCSVPath(app string) string    { return filepath.Join(goldenDir, app+".csv") }
+
+// runCorpus analyzes the full corpus at one worker count — both the
+// corpus-level fan-out (nadroid.AnalyzeCorpus) and each app's phase
+// pools use it — and returns per-app counts plus rendered report/CSV
+// text.
+func runCorpus(t *testing.T, workers int) ([]goldenCounts, map[string]string, map[string]string) {
+	t.Helper()
+	var work []nadroid.CorpusApp
+	for _, app := range corpus.Apps() {
+		work = append(work, nadroid.CorpusApp{Name: app.Name(), Build: app.Build})
+	}
+	results := nadroid.AnalyzeCorpus(work, nadroid.CorpusOptions{
+		Workers:  workers,
+		Analysis: nadroid.Options{Workers: workers},
+	})
+	var counts []goldenCounts
+	reports := make(map[string]string)
+	csvs := make(map[string]string)
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.App, r.Err)
+		}
+		counts = append(counts, goldenCounts{
+			App:          r.App,
+			Potential:    r.Result.Stats.Potential,
+			AfterSound:   r.Result.Stats.AfterSound,
+			AfterUnsound: r.Result.Stats.AfterUnsound,
+		})
+		reports[r.App] = r.Result.Report.String()
+		csvs[r.App] = r.Result.Report.CSV()
+	}
+	return counts, reports, csvs
+}
+
+func TestCorpusGolden(t *testing.T) {
+	if *updateGolden {
+		counts, reports, csvs := runCorpus(t, 1)
+		if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(counts, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(goldenDir, "corpus.json"), append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		for app, text := range reports {
+			if err := os.WriteFile(goldenReportPath(app), []byte(text), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for app, text := range csvs {
+			if err := os.WriteFile(goldenCSVPath(app), []byte(text), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Logf("golden: rewrote %s for %d apps", goldenDir, len(counts))
+		return
+	}
+
+	data, err := os.ReadFile(filepath.Join(goldenDir, "corpus.json"))
+	if err != nil {
+		t.Fatalf("reading goldens (regenerate with -update-golden): %v", err)
+	}
+	var want []goldenCounts
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	wantByApp := make(map[string]goldenCounts, len(want))
+	for _, w := range want {
+		wantByApp[w.App] = w
+	}
+
+	for _, workers := range []int{1, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			counts, reports, csvs := runCorpus(t, workers)
+			if len(counts) != len(want) {
+				t.Fatalf("corpus has %d apps, goldens have %d", len(counts), len(want))
+			}
+			for _, got := range counts {
+				w, ok := wantByApp[got.App]
+				if !ok {
+					t.Errorf("%s: no golden entry", got.App)
+					continue
+				}
+				if got != w {
+					t.Errorf("%s: counts differ: got %+v want %+v", got.App, got, w)
+				}
+				wantReport, err := os.ReadFile(goldenReportPath(got.App))
+				if err != nil {
+					t.Fatalf("%s: %v", got.App, err)
+				}
+				if reports[got.App] != string(wantReport) {
+					t.Errorf("%s: report text differs from golden:\n got:\n%s\nwant:\n%s",
+						got.App, reports[got.App], wantReport)
+				}
+				wantCSV, err := os.ReadFile(goldenCSVPath(got.App))
+				if err != nil {
+					t.Fatalf("%s: %v", got.App, err)
+				}
+				if csvs[got.App] != string(wantCSV) {
+					t.Errorf("%s: report CSV differs from golden", got.App)
+				}
+			}
+		})
+	}
+}

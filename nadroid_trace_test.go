@@ -65,6 +65,17 @@ func TestAnalyzeTraceTree(t *testing.T) {
 	if solve.Duration() <= 0 {
 		t.Error("pointsto.solve span has no duration")
 	}
+	// The solve span carries the worklist volume: iterations (drains)
+	// and delta_objs (objects moved by difference propagation).
+	solveAttrs := map[string]bool{}
+	for _, a := range solve.Attrs() {
+		solveAttrs[a.Key] = true
+	}
+	for _, key := range []string{"iterations", "delta_objs", "var_facts"} {
+		if !solveAttrs[key] {
+			t.Errorf("pointsto.solve span missing attr %q (have %v)", key, solve.Attrs())
+		}
+	}
 
 	// Detection has at least two sub-stages (collection, pairing, …).
 	detection := findChild(t, analyze, "detection")
@@ -101,7 +112,7 @@ func TestAnalyzeTraceTree(t *testing.T) {
 
 	// Deep counters from every phase.
 	for _, name := range []string{
-		"pointsto_iterations", "pointsto_var_facts",
+		"pointsto_iterations", "pointsto_delta_objs", "pointsto_var_facts",
 		"datalog_facts", "datalog_derived",
 		"race_accesses", "race_pairs",
 		"uaf_warnings",
