@@ -7,6 +7,13 @@
 // Usage:
 //
 //	nadroid-serve [-addr :8372] [-workers 4] [-queue 64] [-cache 256] [-timeout 2m]
+//	              [-store-dir DIR] [-store-max-runs 32] [-store-max-age 720h]
+//
+// With -store-dir, every completed analysis is persisted to a
+// content-addressed on-disk store: restarts warm-start the result cache
+// from it, GET /v1/apps/{app}/runs lists an app's analysis history, and
+// GET /v1/apps/{app}/diff reports the new/fixed/persisting warning
+// delta between runs (suppressing baselined warnings).
 //
 // Example session:
 //
@@ -29,6 +36,7 @@ import (
 	"time"
 
 	"nadroid/internal/server"
+	"nadroid/internal/store"
 )
 
 func main() {
@@ -42,6 +50,9 @@ func main() {
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 		pprofFlag = flag.Bool("pprof", false, "expose the Go profiler at /debug/pprof/ (do not enable on untrusted networks)")
 		logJSON   = flag.Bool("log-json", false, "emit logs as JSON lines instead of text")
+		storeDir  = flag.String("store-dir", "", "persist analysis runs under this directory (enables run history + diff endpoints)")
+		storeMax  = flag.Int("store-max-runs", 32, "runs kept per app by store GC (0 = unlimited)")
+		storeAge  = flag.Duration("store-max-age", 30*24*time.Hour, "store GC expires runs older than this (0 = never)")
 	)
 	flag.Parse()
 
@@ -51,6 +62,29 @@ func main() {
 	}
 	logger := slog.New(handler)
 
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, store.Options{
+			MaxRunsPerApp: *storeMax,
+			MaxAge:        *storeAge,
+			Logger:        logger,
+		})
+		if err != nil {
+			logger.Error("opening store", "dir", *storeDir, "error", err)
+			os.Exit(1)
+		}
+		if removed := st.GC(time.Now()); removed > 0 {
+			logger.Info("store gc", "removed", removed)
+		}
+		// Long-lived services keep the store bounded without restarts.
+		go func() {
+			for range time.Tick(time.Hour) {
+				st.GC(time.Now())
+			}
+		}()
+	}
+
 	srv := server.New(server.Config{
 		Workers:         *workers,
 		PipelineWorkers: *pipeline,
@@ -59,6 +93,7 @@ func main() {
 		DefaultTimeout:  *timeout,
 		EnablePprof:     *pprofFlag,
 		Logger:          logger,
+		Store:           st,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 

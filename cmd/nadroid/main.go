@@ -10,6 +10,15 @@
 //	nadroid [flags] -app ConnectBot
 //	nadroid -list
 //	nadroid -dump ConnectBot > connectbot.dexasm
+//
+// Triage subcommands (see triage.go): analyses persisted with
+// -store-dir accumulate a per-app history that `nadroid diff` compares
+// by stable warning fingerprint and `nadroid baseline write` marks as
+// reviewed:
+//
+//	nadroid -store-dir .nadroid-store -app ConnectBot
+//	nadroid baseline write -store-dir .nadroid-store -app ConnectBot
+//	nadroid diff -store-dir .nadroid-store -app ConnectBot
 package main
 
 import (
@@ -33,9 +42,20 @@ import (
 	"nadroid/internal/nosleep"
 	"nadroid/internal/obs"
 	"nadroid/internal/server"
+	"nadroid/internal/store"
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "diff":
+			runDiff(os.Args[2:])
+			return
+		case "baseline":
+			runBaseline(os.Args[2:])
+			return
+		}
+	}
 	var (
 		appName   = flag.String("app", "", "analyze a built-in corpus app by name")
 		corpusAll = flag.Bool("corpus", false, "analyze every built-in corpus app (fan-out bounded by -workers)")
@@ -57,6 +77,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "pipeline worker pool bound (0 = GOMAXPROCS, 1 = sequential)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to FILE (go tool pprof)")
 		memProf   = flag.String("memprofile", "", "write a heap profile after the run to FILE (go tool pprof)")
+		storeDir  = flag.String("store-dir", "", "persist this analysis into a run store (enables `nadroid diff` / `baseline write`)")
+		baseFile  = flag.String("baseline", "", "suppress warnings listed in this baseline file (see `baseline write -o`)")
 	)
 	flag.Parse()
 
@@ -109,7 +131,9 @@ func main() {
 				Validate:           *validate,
 				Explore:            explore.Options{MaxSchedules: *budget},
 			},
-		}, *csv)
+		}, *csv, *storeDir, server.OptionsWire{
+			K: *k, SkipUnsoundFilters: *noUnsound, Validate: *validate, MaxSchedules: *budget,
+		})
 		return
 	}
 
@@ -171,14 +195,35 @@ func main() {
 		fmt.Fprint(os.Stderr, tracer.Tree())
 	}
 
+	optsWire := server.OptionsWire{
+		K: *k, SkipUnsoundFilters: *noUnsound, Validate: *validate, MaxSchedules: *budget,
+	}
+	if *storeDir != "" {
+		st := mustOpenStore(*storeDir)
+		// Persist the pristine result (before any baseline suppression):
+		// stored history stays reviewable even as baselines evolve.
+		key := persistResult(st, dexasm.Format(pkg), optsWire, server.EncodeResult(pkg.Name, res))
+		fmt.Fprintf(os.Stderr, "nadroid: stored run %s in %s\n", shortID(key), *storeDir)
+	}
+	var base *store.Baseline
+	if *baseFile != "" {
+		base = loadBaselineFile(*baseFile)
+	}
+
 	if *jsonOut {
+		out := server.EncodeResult(pkg.Name, res)
+		if base != nil {
+			// JSON keeps suppressed warnings, flagged, for machine consumers.
+			server.ApplyBaseline(out, base)
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(server.EncodeResult(pkg.Name, res)); err != nil {
+		if err := enc.Encode(out); err != nil {
 			fatalf("encode: %v", err)
 		}
 		return
 	}
+	hidden := suppressEntries(res, base)
 	if *csv {
 		fmt.Print(res.Report.CSV())
 	} else {
@@ -187,6 +232,9 @@ func main() {
 		fmt.Printf("potential UAFs: %d; after sound filters: %d; after unsound filters: %d\n",
 			res.Stats.Potential, res.Stats.AfterSound, res.Stats.AfterUnsound)
 		fmt.Print(res.Report)
+		if hidden > 0 {
+			fmt.Printf("suppressed %d baselined warning(s) via %s\n", hidden, *baseFile)
+		}
 	}
 	if *validate {
 		fmt.Printf("validated harmful: %d\n", len(res.Harmful))
@@ -216,8 +264,13 @@ func main() {
 
 // runCorpus sweeps every built-in corpus app through the pipeline on a
 // bounded worker pool and prints one summary line per app (corpus
-// order) plus the Table 1 aggregate counts.
-func runCorpus(opts nadroid.CorpusOptions, csv bool) {
+// order) plus the Table 1 aggregate counts. With a store directory,
+// every app's run is persisted for later diffing.
+func runCorpus(opts nadroid.CorpusOptions, csv bool, storeDir string, optsWire server.OptionsWire) {
+	var st *store.Store
+	if storeDir != "" {
+		st = mustOpenStore(storeDir)
+	}
 	var work []nadroid.CorpusApp
 	for _, app := range corpus.Apps() {
 		work = append(work, nadroid.CorpusApp{Name: app.Name(), Build: app.Build})
@@ -227,6 +280,10 @@ func runCorpus(opts nadroid.CorpusOptions, csv bool) {
 	for _, r := range results {
 		if r.Err != nil {
 			fatalf("%s: %v", r.App, r.Err)
+		}
+		if st != nil {
+			app, _ := corpus.ByName(r.App)
+			persistResult(st, dexasm.Format(app.Build()), optsWire, server.EncodeResult(r.App, r.Result))
 		}
 		if csv {
 			fmt.Print(r.Result.Report.CSV())

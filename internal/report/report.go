@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 
+	"nadroid/internal/fingerprint"
 	"nadroid/internal/threadify"
 	"nadroid/internal/uaf"
 )
@@ -105,6 +106,10 @@ func ClassifyWarning(m *threadify.Model, w *uaf.Warning) Category {
 type Entry struct {
 	Warning  *uaf.Warning
 	Category Category
+	// Fingerprint is the stable content-derived identity — the handle
+	// baselines and run diffs use to track this warning across
+	// re-analyses.
+	Fingerprint fingerprint.ID
 	// UseLineage / FreeLineage are the §7 callback-and-thread sequences.
 	UseLineage, FreeLineage string
 }
@@ -124,7 +129,7 @@ func New(app string, d *uaf.Detection) *Report {
 	for _, w := range d.Alive() {
 		cat := ClassifyWarning(d.Model, w)
 		r.ByCategory[cat]++
-		e := Entry{Warning: w, Category: cat}
+		e := Entry{Warning: w, Category: cat, Fingerprint: fingerprint.Warning(d.Model, w)}
 		if len(w.Pairs) > 0 {
 			e.UseLineage = d.Model.Lineage(w.Pairs[0].Use)
 			e.FreeLineage = d.Model.Lineage(w.Pairs[0].Free)
@@ -149,7 +154,7 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "== %s: %d potential UAF warning(s) after filtering ==\n", r.App, len(r.Entries))
 	for i, e := range r.Entries {
 		w := e.Warning
-		fmt.Fprintf(&b, "[%d] %s  field %s\n", i+1, e.Category, w.Field)
+		fmt.Fprintf(&b, "[%d] %s  field %s  fp %s\n", i+1, e.Category, w.Field, e.Fingerprint)
 		fmt.Fprintf(&b, "    use : %s\n", w.Use)
 		fmt.Fprintf(&b, "          via %s\n", e.UseLineage)
 		fmt.Fprintf(&b, "    free: %s\n", w.Free)
@@ -159,14 +164,14 @@ func (r *Report) String() string {
 }
 
 // CSV renders the report as ResultAnalysis.csv rows:
-// app,field,use,free,category,use_lineage,free_lineage.
+// app,field,use,free,category,use_lineage,free_lineage,fingerprint.
 func (r *Report) CSV() string {
 	var b strings.Builder
-	b.WriteString("app,field,use,free,category,use_lineage,free_lineage\n")
+	b.WriteString("app,field,use,free,category,use_lineage,free_lineage,fingerprint\n")
 	for _, e := range r.Entries {
 		w := e.Warning
-		fmt.Fprintf(&b, "%s,%s,%s,%s,%s,%q,%q\n",
-			r.App, w.Field, w.Use, w.Free, e.Category, e.UseLineage, e.FreeLineage)
+		fmt.Fprintf(&b, "%s,%s,%s,%s,%s,%q,%q,%s\n",
+			r.App, w.Field, w.Use, w.Free, e.Category, e.UseLineage, e.FreeLineage, e.Fingerprint)
 	}
 	return b.String()
 }

@@ -66,6 +66,30 @@ func TestLineagesPresent(t *testing.T) {
 	}
 }
 
+// TestFingerprintsEmbedded: every entry carries a stable fingerprint,
+// distinct per warning, present in both renderings.
+func TestFingerprintsEmbedded(t *testing.T) {
+	_, d := connectBot(t)
+	rep := New("ConnectBot", d)
+	seen := map[string]bool{}
+	for _, e := range rep.Entries {
+		fp := string(e.Fingerprint)
+		if len(fp) != 16 {
+			t.Fatalf("entry %s: fingerprint %q not 16 hex chars", e.Warning.Key(), fp)
+		}
+		if seen[fp] {
+			t.Errorf("duplicate fingerprint %s", fp)
+		}
+		seen[fp] = true
+		if !strings.Contains(rep.String(), "fp "+fp) {
+			t.Errorf("String() missing fingerprint %s", fp)
+		}
+		if !strings.Contains(rep.CSV(), ","+fp+"\n") {
+			t.Errorf("CSV() missing fingerprint column %s", fp)
+		}
+	}
+}
+
 func TestCSVShape(t *testing.T) {
 	_, d := connectBot(t)
 	rep := New("ConnectBot", d)

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"nadroid/internal/buildinfo"
+	"nadroid/internal/store"
 )
 
 // histBounds are the histogram bucket upper bounds. Detection dominates
@@ -60,6 +61,9 @@ type Metrics struct {
 	jobsCanceled uint64
 	queueDepth   int // currently waiting
 	running      int // currently executing
+
+	suppressed uint64 // baseline-suppressed warnings across all results served
+	warmLoaded int    // cache entries preloaded from the store at startup
 
 	phases map[string]*histogram
 	// pipeline accumulates the per-job obs counter snapshots. Keys are
@@ -113,6 +117,22 @@ func (m *Metrics) JobFinished(state string) {
 	}
 }
 
+// AddSuppressed counts warnings a baseline hid from a materialized
+// result.
+func (m *Metrics) AddSuppressed(n int) {
+	m.mu.Lock()
+	m.suppressed += uint64(n)
+	m.mu.Unlock()
+}
+
+// SetWarmLoaded records how many cache entries the store preloaded at
+// startup.
+func (m *Metrics) SetWarmLoaded(n int) {
+	m.mu.Lock()
+	m.warmLoaded = n
+	m.mu.Unlock()
+}
+
 // ObserveTiming feeds one analysis's phase split into the histograms.
 func (m *Metrics) ObserveTiming(t TimingWire) {
 	m.mu.Lock()
@@ -152,9 +172,10 @@ func (m *Metrics) Counters() Snapshot {
 }
 
 // Render writes the plain-text exposition: build info, job/cache
-// counters, phase histograms, deep pipeline counters, and Go runtime
-// gauges. Output order is stable across calls.
-func (m *Metrics) Render(cache *Cache) string {
+// counters, store counters (when a store is configured), phase
+// histograms, deep pipeline counters, and Go runtime gauges. Output
+// order is stable across calls.
+func (m *Metrics) Render(cache *Cache, st *store.Store) string {
 	hits, misses := cache.Counters()
 	bi := buildinfo.Get()
 	var ms runtime.MemStats
@@ -176,6 +197,17 @@ func (m *Metrics) Render(cache *Cache) string {
 	fmt.Fprintf(&b, "nadroid_cache_hits_total %d\n", hits)
 	fmt.Fprintf(&b, "nadroid_cache_misses_total %d\n", misses)
 	fmt.Fprintf(&b, "nadroid_cache_entries %d\n", cache.Len())
+	fmt.Fprintf(&b, "nadroid_suppressed_warnings_total %d\n", m.suppressed)
+	if st != nil {
+		sc := st.Counters()
+		fmt.Fprintf(&b, "nadroid_store_hits_total %d\n", sc.Hits)
+		fmt.Fprintf(&b, "nadroid_store_misses_total %d\n", sc.Misses)
+		fmt.Fprintf(&b, "nadroid_store_puts_total %d\n", sc.Puts)
+		fmt.Fprintf(&b, "nadroid_store_gc_removed_total %d\n", sc.GCRemoved)
+		fmt.Fprintf(&b, "nadroid_store_load_errors_total %d\n", sc.LoadErrors)
+		fmt.Fprintf(&b, "nadroid_store_runs %d\n", st.Len())
+		fmt.Fprintf(&b, "nadroid_store_warm_loaded %d\n", m.warmLoaded)
+	}
 
 	phases := make([]string, 0, len(m.phases))
 	for p := range m.phases {

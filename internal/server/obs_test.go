@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"nadroid/internal/obs"
+	"nadroid/internal/store"
 )
 
 // expoLine matches one Prometheus-style exposition line:
@@ -25,7 +26,11 @@ var expoLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (-?[
 // labels are numeric milliseconds (not duration strings), buckets are
 // cumulative-monotone, and the +Inf bucket equals the _count line.
 func TestMetricsExposition(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 1})
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Workers: 1, Store: st})
 	resp, _ := postJSON(t, ts.URL+"/v1/analyze", map[string]string{"app": "ConnectBot"})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("analyze status = %d", resp.StatusCode)
@@ -44,6 +49,7 @@ func TestMetricsExposition(t *testing.T) {
 	buckets := map[string][]bucket{} // phase -> cumulative buckets in output order
 	counts := map[string]float64{}
 	seen := map[string]bool{}
+	vals := map[string]float64{} // last value per family (unlabeled families)
 	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
 		m := expoLine.FindStringSubmatch(line)
 		if m == nil {
@@ -55,6 +61,9 @@ func TestMetricsExposition(t *testing.T) {
 			t.Fatalf("non-numeric value in %q: %v", line, err)
 		}
 		seen[name] = true
+		if labels == "" {
+			vals[name] = val
+		}
 		switch name {
 		case "nadroid_phase_latency_bucket":
 			phase := labelValue(t, labels, "phase")
@@ -73,10 +82,19 @@ func TestMetricsExposition(t *testing.T) {
 	for _, name := range []string{
 		"nadroid_build_info", "nadroid_jobs_done_total", "nadroid_cache_misses_total",
 		"nadroid_go_goroutines", "nadroid_go_heap_alloc_bytes",
+		"nadroid_store_hits_total", "nadroid_store_misses_total", "nadroid_store_puts_total",
+		"nadroid_store_gc_removed_total", "nadroid_store_load_errors_total",
+		"nadroid_store_runs", "nadroid_store_warm_loaded",
+		"nadroid_suppressed_warnings_total",
 	} {
 		if !seen[name] {
 			t.Errorf("metric family %s missing from exposition", name)
 		}
+	}
+	// The analysis above was persisted, so the store families are live.
+	if vals["nadroid_store_puts_total"] != 1 || vals["nadroid_store_runs"] != 1 {
+		t.Errorf("store families not fed by the analysis: puts=%v runs=%v",
+			vals["nadroid_store_puts_total"], vals["nadroid_store_runs"])
 	}
 
 	// The analysis must have surfaced deep pipeline counters.

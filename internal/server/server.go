@@ -8,14 +8,22 @@
 //
 // Endpoints:
 //
-//	POST   /v1/analyze          analyze (sync; ?async=true returns a job ID)
-//	GET    /v1/jobs/{id}        job status + result
-//	DELETE /v1/jobs/{id}        cancel a queued or running job
-//	GET    /v1/jobs/{id}/trace  span tree of a finished job (?format=chrome)
-//	GET    /v1/apps             corpus listing
-//	GET    /healthz             liveness + build info JSON
-//	GET    /metrics             plain-text counters, histograms, pipeline families
-//	GET    /debug/pprof/*       Go profiler (only with Config.EnablePprof)
+//	POST   /v1/analyze             analyze (sync; ?async=true returns a job ID)
+//	GET    /v1/jobs/{id}           job status + result
+//	DELETE /v1/jobs/{id}           cancel a queued or running job
+//	GET    /v1/jobs/{id}/trace     span tree of a finished job (?format=chrome)
+//	GET    /v1/apps                corpus listing
+//	GET    /v1/apps/{app}/runs     stored analysis history (requires Config.Store)
+//	GET    /v1/apps/{app}/diff     delta between two runs (?from=&to=, default latest pair)
+//	GET    /healthz                liveness + build info JSON
+//	GET    /metrics                plain-text counters, histograms, pipeline families
+//	GET    /debug/pprof/*          Go profiler (only with Config.EnablePprof)
+//
+// With Config.Store set, every completed analysis is persisted as a
+// run record (the disk tier of the result cache — a restarted service
+// serves previously analyzed programs as cache hits), results are
+// filtered through the app's baseline when one exists, and the
+// run-history endpoints come alive.
 package server
 
 import (
@@ -36,6 +44,7 @@ import (
 	"nadroid/internal/corpus"
 	"nadroid/internal/dexasm"
 	"nadroid/internal/obs"
+	"nadroid/internal/store"
 )
 
 // Config sizes the service.
@@ -64,6 +73,10 @@ type Config struct {
 	// Logger receives structured job lifecycle logs (job id, app, phase
 	// timings). Nil means no logging.
 	Logger *slog.Logger
+	// Store, when non-nil, persists every completed analysis and backs
+	// the run-history and diff endpoints. On startup the result cache is
+	// warm-started from the store's payloads.
+	Store *store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +107,7 @@ type Server struct {
 	cache   *Cache
 	pool    *Pool
 	metrics *Metrics
+	store   *store.Store
 	mux     *http.ServeMux
 }
 
@@ -104,7 +118,9 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		cache:   NewCache(cfg.CacheEntries),
 		metrics: NewMetrics(),
+		store:   cfg.Store,
 	}
+	s.warmStart()
 	s.pool = NewPool(cfg.Workers, cfg.QueueDepth, s.metrics)
 	if cfg.Logger != nil {
 		s.pool.SetLogger(cfg.Logger)
@@ -113,6 +129,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("/v1/jobs/", s.handleJob)
 	s.mux.HandleFunc("/v1/apps", s.handleApps)
+	s.mux.HandleFunc("/v1/apps/", s.handleAppHistory)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	if cfg.EnablePprof {
@@ -123,6 +140,59 @@ func New(cfg Config) *Server {
 		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return s
+}
+
+// warmStart preloads the result cache from the store's persisted
+// payloads so a restarted service answers previously analyzed programs
+// without recomputing. Newest runs win the LRU budget.
+func (s *Server) warmStart() {
+	if s.store == nil {
+		return
+	}
+	runs := s.store.All() // newest first
+	if len(runs) > s.cfg.CacheEntries {
+		runs = runs[:s.cfg.CacheEntries]
+	}
+	loaded := 0
+	// Insert oldest-to-newest so the newest run ends most recently used.
+	for i := len(runs) - 1; i >= 0; i-- {
+		r := runs[i]
+		if len(r.Payload) == 0 {
+			continue
+		}
+		var res ResultWire
+		if err := json.Unmarshal(r.Payload, &res); err != nil {
+			if s.cfg.Logger != nil {
+				s.cfg.Logger.Warn("store payload unreadable, skipping warm start entry",
+					"run", r.ID, "error", err)
+			}
+			continue
+		}
+		s.applyStoreBaseline(&res)
+		s.cache.Put(CacheKey(r.ID), &res)
+		loaded++
+	}
+	s.metrics.SetWarmLoaded(loaded)
+	if s.cfg.Logger != nil && loaded > 0 {
+		s.cfg.Logger.Info("warm-started result cache from store", "entries", loaded)
+	}
+}
+
+// applyStoreBaseline suppresses baselined warnings in a result about to
+// enter the cache. Stored runs stay pristine; the baseline is applied
+// when a result is (re)materialized, so edits to a baseline take effect
+// on the next analysis or restart without rewriting history.
+func (s *Server) applyStoreBaseline(res *ResultWire) {
+	if s.store == nil {
+		return
+	}
+	base, ok := s.store.Baseline(res.App)
+	if !ok {
+		return
+	}
+	if n := ApplyBaseline(res, base); n > 0 {
+		s.metrics.AddSuppressed(n)
+	}
 }
 
 // ServeHTTP dispatches to the API mux.
@@ -202,6 +272,15 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, &hit)
 		return
 	}
+	// Disk tier: a run persisted by an earlier process (or evicted from
+	// the LRU) still answers without re-analysis.
+	if res, ok := s.storedResult(key); ok {
+		s.cache.Put(key, res)
+		hit := *res
+		hit.Cached = true
+		writeJSON(w, http.StatusOK, &hit)
+		return
+	}
 
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {
@@ -217,6 +296,8 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		}
 		out := EncodeResult(appName, res)
 		s.metrics.ObserveTiming(out.Timing)
+		s.persistRun(key, req.Options, out)
+		s.applyStoreBaseline(out)
 		s.cache.Put(key, out)
 		return out, nil
 	})
@@ -246,6 +327,90 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusRequestTimeout, "analysis canceled: %s", st.Error)
 	default:
 		writeError(w, http.StatusInternalServerError, "analysis failed: %s", st.Error)
+	}
+}
+
+// storedResult materializes a cached result from the store's disk tier.
+func (s *Server) storedResult(key CacheKey) (*ResultWire, bool) {
+	if s.store == nil {
+		return nil, false
+	}
+	run, ok := s.store.Get(string(key))
+	if !ok || len(run.Payload) == 0 {
+		return nil, false
+	}
+	var res ResultWire
+	if err := json.Unmarshal(run.Payload, &res); err != nil {
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Warn("store payload unreadable", "run", run.ID, "error", err)
+		}
+		return nil, false
+	}
+	s.applyStoreBaseline(&res)
+	return &res, true
+}
+
+// persistRun writes a completed analysis to the store (pristine, before
+// baseline suppression). Persistence failures are logged, never fatal:
+// the analysis still answers from memory.
+func (s *Server) persistRun(key CacheKey, opts OptionsWire, res *ResultWire) {
+	if s.store == nil {
+		return
+	}
+	run, err := StoreRun(key, opts, res, time.Now())
+	if err == nil {
+		err = s.store.Put(run)
+	}
+	if err != nil && s.cfg.Logger != nil {
+		s.cfg.Logger.Warn("persisting run failed", "app", res.App, "error", err)
+	}
+}
+
+// handleAppHistory serves the store-backed per-app endpoints:
+// GET /v1/apps/{app}/runs and GET /v1/apps/{app}/diff?from=&to=.
+func (s *Server) handleAppHistory(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/apps/")
+	// The final segment selects the view; the app name may itself
+	// contain slashes (dexasm package paths).
+	cut := strings.LastIndex(rest, "/")
+	if cut <= 0 {
+		writeError(w, http.StatusNotFound, "want /v1/apps/{app}/runs or /v1/apps/{app}/diff")
+		return
+	}
+	app, view := rest[:cut], rest[cut+1:]
+	if s.store == nil {
+		writeError(w, http.StatusServiceUnavailable, "no store configured (start nadroid-serve with -store-dir)")
+		return
+	}
+	switch view {
+	case "runs":
+		runs := s.store.Runs(app)
+		if len(runs) == 0 {
+			writeError(w, http.StatusNotFound, "no stored runs for app %q", app)
+			return
+		}
+		out := make([]RunWire, 0, len(runs))
+		for _, run := range runs {
+			out = append(out, RunToWire(run))
+		}
+		writeJSON(w, http.StatusOK, out)
+	case "diff":
+		d, err := s.store.Diff(app, r.URL.Query().Get("from"), r.URL.Query().Get("to"))
+		if err != nil {
+			status := http.StatusBadRequest
+			if len(s.store.Runs(app)) == 0 {
+				status = http.StatusNotFound
+			}
+			writeError(w, status, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, d)
+	default:
+		writeError(w, http.StatusNotFound, "unknown view %q (want runs or diff)", view)
 	}
 }
 
@@ -330,5 +495,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprint(w, s.metrics.Render(s.cache))
+	fmt.Fprint(w, s.metrics.Render(s.cache, s.store))
 }

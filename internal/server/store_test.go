@@ -1,0 +1,206 @@
+// store_test.go covers the persistence tier of the service: runs
+// written on job completion, cache warm-start across restarts, the
+// store as a second-level cache after LRU eviction, baseline
+// suppression in served results, and the run-history/diff endpoints.
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"nadroid/internal/store"
+)
+
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func analyzeApp(t *testing.T, url, app string, opts map[string]interface{}) *ResultWire {
+	t.Helper()
+	body := map[string]interface{}{"app": app}
+	if opts != nil {
+		body["options"] = opts
+	}
+	resp, data := postJSON(t, url+"/v1/analyze", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze %s: status %d: %s", app, resp.StatusCode, data)
+	}
+	var res ResultWire
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("analyze %s: %v", app, err)
+	}
+	return &res
+}
+
+// TestRestartServesFromStore: a service restarted over the same store
+// directory answers a previously analyzed app as a cache hit without
+// queuing a job — the acceptance scenario for the disk tier.
+func TestRestartServesFromStore(t *testing.T) {
+	dir := t.TempDir()
+
+	_, ts := newTestServer(t, Config{Workers: 1, Store: openStore(t, dir)})
+	first := analyzeApp(t, ts.URL, "ConnectBot", nil)
+	if first.Cached {
+		t.Fatal("first analysis must not be cached")
+	}
+	if len(first.Warnings) == 0 || first.Warnings[0].Fingerprint == "" {
+		t.Fatal("served warnings must carry fingerprints")
+	}
+	ts.Close()
+
+	// A fresh process: new server, new store handle, same directory.
+	s2, ts2 := newTestServer(t, Config{Workers: 1, Store: openStore(t, dir)})
+	second := analyzeApp(t, ts2.URL, "ConnectBot", nil)
+	if !second.Cached {
+		t.Fatal("restart must serve the stored result as a cache hit")
+	}
+	if len(second.Warnings) != len(first.Warnings) {
+		t.Errorf("restart warnings = %d, want %d", len(second.Warnings), len(first.Warnings))
+	}
+	if n := s2.Metrics().Counters().JobsQueued; n != 0 {
+		t.Errorf("restart queued %d job(s); want 0 (warm cache)", n)
+	}
+	_, metrics := getBody(t, ts2.URL+"/metrics")
+	for _, want := range []string{"nadroid_store_warm_loaded 1", "nadroid_cache_hits_total 1"} {
+		if !strings.Contains(string(metrics), want+"\n") {
+			t.Errorf("/metrics missing %q after warm restart:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestStoreIsSecondCacheTier: with an LRU of one entry, an evicted
+// result is re-served from disk (store hit), not recomputed.
+func TestStoreIsSecondCacheTier(t *testing.T) {
+	st := openStore(t, t.TempDir())
+	s, ts := newTestServer(t, Config{Workers: 1, CacheEntries: 1, Store: st})
+
+	analyzeApp(t, ts.URL, "ConnectBot", nil)
+	analyzeApp(t, ts.URL, "Swiftnotes", nil) // evicts ConnectBot from the LRU
+	res := analyzeApp(t, ts.URL, "ConnectBot", nil)
+	if !res.Cached {
+		t.Fatal("evicted entry must be served from the store tier as cached")
+	}
+	if got := s.Metrics().Counters().JobsQueued; got != 2 {
+		t.Errorf("jobs queued = %d, want 2 (third request answered from disk)", got)
+	}
+	if c := st.Counters(); c.Hits == 0 {
+		t.Errorf("store hit counter not bumped: %+v", c)
+	}
+}
+
+// TestRunHistoryAndDiffEndpoints: two analyses of one app with
+// different options yield two stored runs; the endpoints list them and
+// diff them.
+func TestRunHistoryAndDiffEndpoints(t *testing.T) {
+	st := openStore(t, t.TempDir())
+	_, ts := newTestServer(t, Config{Workers: 1, Store: st})
+
+	strict := analyzeApp(t, ts.URL, "ConnectBot", nil)
+	loose := analyzeApp(t, ts.URL, "ConnectBot", map[string]interface{}{"skip_unsound_filters": true})
+	if len(loose.Warnings) <= len(strict.Warnings) {
+		t.Fatalf("skip_unsound_filters must widen the warning set (%d vs %d)",
+			len(loose.Warnings), len(strict.Warnings))
+	}
+
+	resp, data := getBody(t, ts.URL+"/v1/apps/ConnectBot/runs")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("runs status = %d: %s", resp.StatusCode, data)
+	}
+	var runs []RunWire
+	if err := json.Unmarshal(data, &runs); err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 || runs[0].App != "ConnectBot" {
+		t.Fatalf("runs = %+v, want 2 ConnectBot entries", runs)
+	}
+	if runs[0].CreatedAt.Before(runs[1].CreatedAt) {
+		t.Error("runs not newest-first")
+	}
+
+	// Diff strict -> loose: the unsound-filtered warnings appear as new.
+	resp, data = getBody(t, ts.URL+"/v1/apps/ConnectBot/diff?from="+runs[1].ID+"&to="+runs[0].ID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("diff status = %d: %s", resp.StatusCode, data)
+	}
+	var d store.Diff
+	if err := json.Unmarshal(data, &d); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Persisting) != len(strict.Warnings) {
+		t.Errorf("persisting = %d, want %d (the strict set)", len(d.Persisting), len(strict.Warnings))
+	}
+	if len(d.New) != len(loose.Warnings)-len(strict.Warnings) {
+		t.Errorf("new = %d, want %d", len(d.New), len(loose.Warnings)-len(strict.Warnings))
+	}
+	if len(d.Fixed) != 0 {
+		t.Errorf("fixed = %d, want 0", len(d.Fixed))
+	}
+
+	// Defaults pick the latest pair.
+	resp, data = getBody(t, ts.URL+"/v1/apps/ConnectBot/diff")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("default diff status = %d: %s", resp.StatusCode, data)
+	}
+
+	// Error surface.
+	for path, want := range map[string]int{
+		"/v1/apps/NoSuchApp/runs":       http.StatusNotFound,
+		"/v1/apps/NoSuchApp/diff":       http.StatusNotFound,
+		"/v1/apps/ConnectBot/nonsense":  http.StatusNotFound,
+		"/v1/apps/ConnectBot/diff?from": http.StatusOK, // empty from falls back to default
+	} {
+		if resp, _ := getBody(t, ts.URL+path); resp.StatusCode != want {
+			t.Errorf("GET %s = %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+
+	// Without a store the history endpoints are 503.
+	_, tsNoStore := newTestServer(t, Config{Workers: 1})
+	if resp, _ := getBody(t, tsNoStore.URL+"/v1/apps/ConnectBot/runs"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("no-store runs status = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestBaselineSuppressionInServedResults: after a reviewer baselines a
+// run, a restarted service serves the same program with every baselined
+// warning flagged suppressed, and /metrics counts them.
+func TestBaselineSuppressionInServedResults(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	_, ts := newTestServer(t, Config{Workers: 1, Store: st})
+	first := analyzeApp(t, ts.URL, "ConnectBot", nil)
+	ts.Close()
+
+	runs := st.Runs("ConnectBot")
+	if len(runs) != 1 {
+		t.Fatalf("stored runs = %d, want 1", len(runs))
+	}
+	if err := st.PutBaseline(store.BaselineFromRun(runs[0], "reviewed: all benign", time.Now())); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts2 := newTestServer(t, Config{Workers: 1, Store: openStore(t, dir)})
+	res := analyzeApp(t, ts2.URL, "ConnectBot", nil)
+	if res.Stats.Suppressed != len(first.Warnings) {
+		t.Errorf("suppressed = %d, want all %d", res.Stats.Suppressed, len(first.Warnings))
+	}
+	for _, w := range res.Warnings {
+		if !w.Suppressed {
+			t.Errorf("warning %s not suppressed despite baseline", w.Fingerprint)
+		}
+	}
+	_, metrics := getBody(t, ts2.URL+"/metrics")
+	want := "nadroid_suppressed_warnings_total " + strconv.Itoa(len(first.Warnings)) + "\n"
+	if !strings.Contains(string(metrics), want) {
+		t.Errorf("/metrics missing %q:\n%s", want, metrics)
+	}
+}

@@ -6,11 +6,13 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 
 	"nadroid"
 	"nadroid/internal/explore"
+	"nadroid/internal/store"
 )
 
 // OptionsWire mirrors nadroid.Options for transport. Zero values mean
@@ -74,16 +76,25 @@ type StatsWire struct {
 	AfterSound   int            `json:"after_sound"`
 	AfterUnsound int            `json:"after_unsound"`
 	RemovedBy    map[string]int `json:"removed_by,omitempty"`
+	// Suppressed counts warnings a baseline hid from this result.
+	Suppressed int `json:"suppressed,omitempty"`
 }
 
 // WarningWire is one surviving warning with its §7 review aids.
 type WarningWire struct {
+	// Fingerprint is the stable content-derived identity baselines and
+	// run diffs key on.
+	Fingerprint string `json:"fingerprint,omitempty"`
 	Field       string `json:"field"`
 	Use         string `json:"use"`
 	Free        string `json:"free"`
 	Category    string `json:"category"`
 	UseLineage  string `json:"use_lineage,omitempty"`
 	FreeLineage string `json:"free_lineage,omitempty"`
+	// Suppressed marks a warning whose fingerprint the app's baseline
+	// covers: kept in the payload (so reviewers can audit), flagged so
+	// clients can hide it.
+	Suppressed bool `json:"suppressed,omitempty"`
 }
 
 // TimingWire is the per-phase wall-clock split in milliseconds.
@@ -115,6 +126,30 @@ type JobWire struct {
 	App    string      `json:"app,omitempty"`
 	Error  string      `json:"error,omitempty"`
 	Result *ResultWire `json:"result,omitempty"`
+}
+
+// RunWire is one GET /v1/apps/{app}/runs entry: the stored run's
+// metadata without the (potentially large) payload.
+type RunWire struct {
+	ID        string    `json:"id"`
+	App       string    `json:"app"`
+	Options   string    `json:"options,omitempty"`
+	CreatedAt time.Time `json:"created_at"`
+	Stats     StatsWire `json:"stats"`
+	Warnings  int       `json:"warnings"`
+}
+
+// RunToWire summarizes a stored run for the runs listing.
+func RunToWire(r *store.Run) RunWire {
+	return RunWire{
+		ID: r.ID, App: r.App, Options: r.Options, CreatedAt: r.CreatedAt,
+		Stats: StatsWire{
+			Potential:    r.Stats.Potential,
+			AfterSound:   r.Stats.AfterSound,
+			AfterUnsound: r.Stats.AfterUnsound,
+		},
+		Warnings: len(r.Warnings),
+	}
 }
 
 // AppWire is one GET /v1/apps corpus entry.
@@ -155,6 +190,7 @@ func EncodeResult(app string, res *nadroid.Result) *ResultWire {
 	byKey := make(map[string]WarningWire)
 	for _, e := range res.Report.Entries {
 		w := WarningWire{
+			Fingerprint: string(e.Fingerprint),
 			Field:       e.Warning.Field.String(),
 			Use:         e.Warning.Use.String(),
 			Free:        e.Warning.Free.String(),
@@ -177,4 +213,49 @@ func EncodeResult(app string, res *nadroid.Result) *ResultWire {
 		}
 	}
 	return out
+}
+
+// StoreRun converts a fresh (pre-baseline) wire result into a store
+// record addressed by the service's cache key, with the full result
+// embedded as the payload so a restarted service can serve it without
+// re-analyzing.
+func StoreRun(key CacheKey, opts OptionsWire, res *ResultWire, now time.Time) (*store.Run, error) {
+	payload, err := json.Marshal(res)
+	if err != nil {
+		return nil, err
+	}
+	r := &store.Run{
+		ID: string(key), App: res.App, Options: opts.cacheKeyPart(), CreatedAt: now.UTC(),
+		Stats: store.Stats{
+			Potential:    res.Stats.Potential,
+			AfterSound:   res.Stats.AfterSound,
+			AfterUnsound: res.Stats.AfterUnsound,
+		},
+		Warnings: make([]store.Warning, 0, len(res.Warnings)),
+		Payload:  payload,
+	}
+	for _, w := range res.Warnings {
+		r.Warnings = append(r.Warnings, store.Warning{
+			Fingerprint: w.Fingerprint, Field: w.Field, Use: w.Use, Free: w.Free,
+			Category: w.Category, UseLineage: w.UseLineage, FreeLineage: w.FreeLineage,
+		})
+	}
+	return r, nil
+}
+
+// ApplyBaseline marks every warning the baseline covers as suppressed
+// and records the count in the stats. Idempotent; returns how many
+// warnings are suppressed. Stored runs stay pristine — suppression is
+// applied at serve time so baseline edits take effect without
+// re-analysis.
+func ApplyBaseline(res *ResultWire, base *store.Baseline) int {
+	n := 0
+	for i := range res.Warnings {
+		res.Warnings[i].Suppressed = base.Has(res.Warnings[i].Fingerprint)
+		if res.Warnings[i].Suppressed {
+			n++
+		}
+	}
+	res.Stats.Suppressed = n
+	return n
 }

@@ -1,0 +1,143 @@
+// baseline.go: reviewed-warning baselines. A baseline is a committed
+// list of warning fingerprints with reviewer notes — the §7 triage
+// outcome made durable. Re-analyses suppress baselined warnings so
+// attention stays on the delta; diffs report them separately.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// BaselineEntry records one reviewed warning.
+type BaselineEntry struct {
+	Fingerprint string `json:"fingerprint"`
+	// Field is denormalized context for the human reading the file.
+	Field string `json:"field,omitempty"`
+	// Note is the reviewer's verdict ("benign: guarded by isFinishing",
+	// "tracked in #123", …).
+	Note string `json:"note,omitempty"`
+}
+
+// Baseline is the reviewed-warning set for one app.
+type Baseline struct {
+	App string `json:"app"`
+	// RunID is the run the review was performed against; GC never
+	// deletes it while the baseline exists.
+	RunID     string          `json:"run_id,omitempty"`
+	CreatedAt time.Time       `json:"created_at"`
+	Entries   []BaselineEntry `json:"entries"`
+}
+
+// Has reports whether a fingerprint is baselined.
+func (b *Baseline) Has(fp string) bool {
+	if b == nil {
+		return false
+	}
+	for _, e := range b.Entries {
+		if e.Fingerprint == fp {
+			return true
+		}
+	}
+	return false
+}
+
+// BaselineFromRun builds a baseline covering every warning of a run,
+// stamping each entry with the note.
+func BaselineFromRun(r *Run, note string, now time.Time) *Baseline {
+	b := &Baseline{App: r.App, RunID: r.ID, CreatedAt: now}
+	for _, w := range r.Warnings {
+		b.Entries = append(b.Entries, BaselineEntry{Fingerprint: w.Fingerprint, Field: w.Field, Note: note})
+	}
+	return b
+}
+
+// PutBaseline writes an app's baseline atomically (one baseline per
+// app; writing replaces the previous one).
+func (s *Store) PutBaseline(b *Baseline) error {
+	if b == nil || b.App == "" {
+		return errors.New("store: baseline needs App")
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	path := filepath.Join(s.baselineDir(), safeName(b.App)+".json")
+	if err := atomicWrite(path, append(data, '\n')); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Baseline loads an app's baseline. Baselines are always read from
+// disk so another process's `baseline write` is visible immediately.
+func (s *Store) Baseline(app string) (*Baseline, bool) {
+	b, err := ReadBaselineFile(filepath.Join(s.baselineDir(), safeName(app)+".json"))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			s.mu.Lock()
+			s.c.LoadErrors++
+			s.mu.Unlock()
+			s.log.Warn("store: skipping corrupt baseline", "app", app, "error", err)
+		}
+		return nil, false
+	}
+	return b, true
+}
+
+// Baselines loads every readable baseline in the store, skipping
+// corrupt files.
+func (s *Store) Baselines() []*Baseline {
+	entries, err := os.ReadDir(s.baselineDir())
+	if err != nil {
+		return nil
+	}
+	var out []*Baseline
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		b, err := ReadBaselineFile(filepath.Join(s.baselineDir(), e.Name()))
+		if err != nil {
+			s.mu.Lock()
+			s.c.LoadErrors++
+			s.mu.Unlock()
+			s.log.Warn("store: skipping corrupt baseline", "file", e.Name(), "error", err)
+			continue
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// ReadBaselineFile parses a baseline file (store-managed or committed
+// to an app repository and passed via -baseline).
+func ReadBaselineFile(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if b.App == "" {
+		return nil, fmt.Errorf("baseline %s: missing app", path)
+	}
+	return &b, nil
+}
+
+// WriteFile renders the baseline to a standalone file (for committing
+// next to the app's source).
+func (b *Baseline) WriteFile(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return atomicWrite(path, append(data, '\n'))
+}

@@ -1,0 +1,114 @@
+// diff.go: the differential engine. Given two stored runs of the same
+// app, warnings are matched by stable fingerprint and classified as
+// new (in `to` only), fixed (in `from` only), or persisting (both). A
+// baseline suppresses reviewed warnings out of new/persisting — a
+// production pipeline re-analyzing every commit acts on the delta, not
+// the full list. A baselined warning that disappears still reports as
+// fixed, flagging the stale baseline entry for cleanup.
+package store
+
+import (
+	"fmt"
+	"time"
+)
+
+// Diff is the classified delta between two runs.
+type Diff struct {
+	App string `json:"app"`
+	// From/To identify the compared runs.
+	From        string    `json:"from"`
+	To          string    `json:"to"`
+	FromCreated time.Time `json:"from_created,omitempty"`
+	ToCreated   time.Time `json:"to_created,omitempty"`
+	// BaselineApplied is true when a baseline filtered the delta.
+	BaselineApplied bool `json:"baseline_applied,omitempty"`
+
+	New        []Warning `json:"new"`
+	Fixed      []Warning `json:"fixed"`
+	Persisting []Warning `json:"persisting"`
+	// Suppressed lists warnings present in `to` whose fingerprints the
+	// baseline covers.
+	Suppressed []Warning `json:"suppressed,omitempty"`
+}
+
+// Counts summarizes the delta sizes (new, fixed, persisting,
+// suppressed).
+func (d *Diff) Counts() (nw, fixed, persisting, suppressed int) {
+	return len(d.New), len(d.Fixed), len(d.Persisting), len(d.Suppressed)
+}
+
+// ComputeDiff classifies `to`'s warnings against `from`'s by
+// fingerprint, applying an optional baseline. Order within each bucket
+// follows the source run's report order (most suspicious first);
+// duplicate fingerprints within one run collapse to their first
+// occurrence.
+func ComputeDiff(from, to *Run, base *Baseline) *Diff {
+	d := &Diff{
+		App: to.App, From: from.ID, To: to.ID,
+		FromCreated: from.CreatedAt, ToCreated: to.CreatedAt,
+		BaselineApplied: base != nil,
+		New:             []Warning{}, Fixed: []Warning{}, Persisting: []Warning{},
+	}
+	inFrom := make(map[string]bool, len(from.Warnings))
+	for _, w := range from.Warnings {
+		inFrom[w.Fingerprint] = true
+	}
+	seenTo := make(map[string]bool, len(to.Warnings))
+	for _, w := range to.Warnings {
+		if seenTo[w.Fingerprint] {
+			continue
+		}
+		seenTo[w.Fingerprint] = true
+		switch {
+		case base.Has(w.Fingerprint):
+			d.Suppressed = append(d.Suppressed, w)
+		case inFrom[w.Fingerprint]:
+			d.Persisting = append(d.Persisting, w)
+		default:
+			d.New = append(d.New, w)
+		}
+	}
+	seenFrom := make(map[string]bool, len(from.Warnings))
+	for _, w := range from.Warnings {
+		if seenFrom[w.Fingerprint] || seenTo[w.Fingerprint] {
+			continue
+		}
+		seenFrom[w.Fingerprint] = true
+		d.Fixed = append(d.Fixed, w)
+	}
+	return d
+}
+
+// Diff resolves two of an app's stored runs and computes their delta,
+// applying the store's baseline for the app when one exists. Empty IDs
+// default to the two most recent runs (from = previous, to = latest).
+func (s *Store) Diff(app, fromID, toID string) (*Diff, error) {
+	runs := s.Runs(app)
+	resolve := func(id, role string, fallback int) (*Run, error) {
+		if id == "" {
+			if fallback >= len(runs) {
+				return nil, fmt.Errorf("store: app %q has %d run(s); need %d for a default %s",
+					app, len(runs), fallback+1, role)
+			}
+			return runs[fallback], nil
+		}
+		r, ok := s.Get(id)
+		if !ok {
+			return nil, fmt.Errorf("store: unknown run %q", id)
+		}
+		if r.App != app {
+			return nil, fmt.Errorf("store: run %q belongs to app %q, not %q", id, r.App, app)
+		}
+		return r, nil
+	}
+	to, err := resolve(toID, "to", 0)
+	if err != nil {
+		return nil, err
+	}
+	from, err := resolve(fromID, "from", 1)
+	if err != nil {
+		return nil, err
+	}
+	base, _ := s.Baseline(app)
+	return ComputeDiff(from, to, base), nil
+}

@@ -1,0 +1,144 @@
+package store
+
+import (
+	"testing"
+	"time"
+)
+
+func warnFP(fps ...string) []Warning {
+	var out []Warning
+	for _, fp := range fps {
+		out = append(out, Warning{Fingerprint: fp, Field: "A.f"})
+	}
+	return out
+}
+
+func fps(ws []Warning) []string {
+	out := make([]string, 0, len(ws))
+	for _, w := range ws {
+		out = append(out, w.Fingerprint)
+	}
+	return out
+}
+
+func eq(a []string, b ...string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestComputeDiffClassification(t *testing.T) {
+	from := &Run{ID: "f", App: "App", Warnings: warnFP("aa", "bb", "cc")}
+	to := &Run{ID: "t", App: "App", Warnings: warnFP("bb", "cc", "dd")}
+
+	d := ComputeDiff(from, to, nil)
+	if !eq(fps(d.New), "dd") || !eq(fps(d.Fixed), "aa") || !eq(fps(d.Persisting), "bb", "cc") {
+		t.Errorf("diff = new %v fixed %v persisting %v", fps(d.New), fps(d.Fixed), fps(d.Persisting))
+	}
+	if len(d.Suppressed) != 0 || d.BaselineApplied {
+		t.Error("no baseline: nothing may be suppressed")
+	}
+	if nw, fx, p, sup := d.Counts(); nw != 1 || fx != 1 || p != 2 || sup != 0 {
+		t.Errorf("Counts = %d %d %d %d", nw, fx, p, sup)
+	}
+}
+
+func TestComputeDiffBaseline(t *testing.T) {
+	from := &Run{ID: "f", App: "App", Warnings: warnFP("aa", "bb")}
+	to := &Run{ID: "t", App: "App", Warnings: warnFP("bb", "dd", "ee")}
+	base := &Baseline{App: "App", Entries: []BaselineEntry{
+		{Fingerprint: "bb", Note: "benign"}, // persisting -> suppressed
+		{Fingerprint: "dd", Note: "benign"}, // would-be new -> suppressed
+		{Fingerprint: "aa", Note: "stale"},  // gone -> still reports fixed
+	}}
+	d := ComputeDiff(from, to, base)
+	if !d.BaselineApplied {
+		t.Error("BaselineApplied not set")
+	}
+	if !eq(fps(d.New), "ee") || !eq(fps(d.Persisting)) || !eq(fps(d.Suppressed), "bb", "dd") {
+		t.Errorf("diff = new %v persisting %v suppressed %v", fps(d.New), fps(d.Persisting), fps(d.Suppressed))
+	}
+	// A baselined warning that disappeared reports as fixed so the
+	// reviewer can prune the stale entry.
+	if !eq(fps(d.Fixed), "aa") {
+		t.Errorf("fixed = %v, want [aa]", fps(d.Fixed))
+	}
+}
+
+func TestComputeDiffDuplicateFingerprints(t *testing.T) {
+	from := &Run{ID: "f", App: "App", Warnings: warnFP("aa", "aa")}
+	to := &Run{ID: "t", App: "App", Warnings: warnFP("aa", "aa", "bb", "bb")}
+	d := ComputeDiff(from, to, nil)
+	if !eq(fps(d.New), "bb") || !eq(fps(d.Persisting), "aa") || len(d.Fixed) != 0 {
+		t.Errorf("dup collapse failed: new %v persisting %v fixed %v", fps(d.New), fps(d.Persisting), fps(d.Fixed))
+	}
+}
+
+func TestStoreDiffDefaultsAndErrors(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	r0 := testRun("App", "r0", base, "aa")
+	r1 := testRun("App", "r1", base.Add(time.Hour), "aa", "bb")
+	r2 := testRun("App", "r2", base.Add(2*time.Hour), "bb", "cc")
+	other := testRun("Other", "ox", base, "zz")
+	for _, r := range []*Run{r0, r1, r2, other} {
+		if err := s.Put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Defaults: previous vs latest.
+	d, err := s.Diff("App", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.From != "r1" || d.To != "r2" {
+		t.Errorf("default diff = %s..%s, want r1..r2", d.From, d.To)
+	}
+	if !eq(fps(d.New), "cc") || !eq(fps(d.Fixed), "aa") || !eq(fps(d.Persisting), "bb") {
+		t.Errorf("default diff buckets wrong: %+v", d)
+	}
+
+	// Explicit IDs, any two runs.
+	d, err = s.Diff("App", "r0", "r2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq(fps(d.Fixed), "aa") || !eq(fps(d.New), "bb", "cc") {
+		t.Errorf("r0..r2 = %+v", d)
+	}
+
+	// The store's baseline applies automatically.
+	if err := s.PutBaseline(&Baseline{App: "App", RunID: "r1",
+		Entries: []BaselineEntry{{Fingerprint: "cc", Note: "benign"}}}); err != nil {
+		t.Fatal(err)
+	}
+	d, err = s.Diff("App", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq(fps(d.New)) || !eq(fps(d.Suppressed), "cc") {
+		t.Errorf("baseline-aware diff = new %v suppressed %v", fps(d.New), fps(d.Suppressed))
+	}
+
+	for _, tc := range []struct{ app, from, to string }{
+		{"App", "r0", "nope"}, // unknown to
+		{"App", "nope", "r2"}, // unknown from
+		{"App", "ox", "r2"},   // run from another app
+		{"Other", "", ""},     // only one run: no default pair
+		{"Absent", "", ""},    // no runs at all
+	} {
+		if _, err := s.Diff(tc.app, tc.from, tc.to); err == nil {
+			t.Errorf("Diff(%q,%q,%q): expected error", tc.app, tc.from, tc.to)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// nadroid_diff_test.go is the acceptance test for the triage
+// subsystem: analyzing an app, mutating it (injecting one artificial
+// UAF), and diffing the two stored runs must report exactly the
+// injected warning as new and nothing as fixed — the fingerprints of
+// every pre-existing warning survive the mutation. A second test runs
+// two corpus sweeps persisting concurrently into one store directory
+// (the shape of parallel CI shards sharing a result store).
+package nadroid_test
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nadroid"
+	"nadroid/internal/apk"
+	"nadroid/internal/corpus"
+	"nadroid/internal/dexasm"
+	"nadroid/internal/server"
+	"nadroid/internal/store"
+)
+
+// persistAnalysis runs the pipeline on pkg and writes the run into st
+// exactly the way cmd/nadroid -store-dir and nadroid-serve do.
+func persistAnalysis(t *testing.T, st *store.Store, pkg *apk.Package, opts server.OptionsWire) *store.Run {
+	t.Helper()
+	res, err := nadroid.AnalyzeContext(context.Background(), pkg, opts.ToOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := server.ResultKey(dexasm.Format(pkg), opts)
+	run, err := server.StoreRun(key, opts, server.EncodeResult(pkg.Name, res), time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(run); err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+func TestDifferentialFlowEndToEnd(t *testing.T) {
+	app, ok := corpus.ByName("Swiftnotes")
+	if !ok {
+		t.Fatal("Swiftnotes missing from corpus")
+	}
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := persistAnalysis(t, st, app.Build(), server.OptionsWire{})
+
+	// The mutation: the same app with one artificial EC-PC UAF planted.
+	injected, sites := app.Spec.BuildInjected([]corpus.InjectionKind{corpus.InjectECPC})
+	if len(sites) != 1 {
+		t.Fatalf("injected sites = %d, want 1", len(sites))
+	}
+	after := persistAnalysis(t, st, injected, server.OptionsWire{})
+	if after.ID == before.ID {
+		t.Fatal("mutated app must land on a different content address")
+	}
+
+	d, err := st.Diff(app.Name(), before.ID, after.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Exactly the injected warning is new; nothing is fixed; every
+	// pre-existing warning persists under its old fingerprint.
+	if len(d.New) != 1 {
+		t.Fatalf("new = %d warning(s) %v, want exactly the injected one", len(d.New), d.New)
+	}
+	if !strings.Contains(d.New[0].Field, sites[0].Field) || !strings.Contains(d.New[0].Field, sites[0].Class) {
+		t.Errorf("new warning field = %q, want the injected site %s.%s", d.New[0].Field, sites[0].Class, sites[0].Field)
+	}
+	if d.New[0].Category != "EC-PC" {
+		t.Errorf("new warning category = %q, want EC-PC", d.New[0].Category)
+	}
+	if len(d.Fixed) != 0 {
+		t.Errorf("fixed = %v, want none (the mutation only adds)", d.Fixed)
+	}
+	if len(d.Persisting) != len(before.Warnings) {
+		t.Errorf("persisting = %d, want all %d pre-existing warnings", len(d.Persisting), len(before.Warnings))
+	}
+	wantFPs := make(map[string]bool, len(before.Warnings))
+	for _, w := range before.Warnings {
+		wantFPs[w.Fingerprint] = true
+	}
+	for _, w := range d.Persisting {
+		if !wantFPs[w.Fingerprint] {
+			t.Errorf("persisting fingerprint %s not in the before-run", w.Fingerprint)
+		}
+	}
+
+	// Baselining the before-run leaves only the injected warning visible.
+	if err := st.PutBaseline(store.BaselineFromRun(before, "pre-mutation review", time.Now())); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := st.Diff(app.Name(), before.ID, after.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.New) != 1 || len(d2.Suppressed) != len(before.Warnings) {
+		t.Errorf("baselined diff: new %d suppressed %d, want 1 and %d",
+			len(d2.New), len(d2.Suppressed), len(before.Warnings))
+	}
+}
+
+// TestConcurrentCorpusSweepsPersist: two AnalyzeCorpus sweeps with
+// different option sets write into one store directory through
+// independent handles at the same time. Run under -race via `make
+// check`.
+func TestConcurrentCorpusSweepsPersist(t *testing.T) {
+	apps := []string{"ToDoList", "Swiftnotes", "PhotoAffix", "ClipStack"}
+	dir := t.TempDir()
+
+	sweep := func(opts server.OptionsWire) {
+		st, err := store.Open(dir, store.Options{})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		var work []nadroid.CorpusApp
+		for _, name := range apps {
+			app, ok := corpus.ByName(name)
+			if !ok {
+				t.Errorf("%s missing from corpus", name)
+				return
+			}
+			work = append(work, nadroid.CorpusApp{Name: app.Name(), Build: app.Build})
+		}
+		for _, r := range nadroid.AnalyzeCorpus(work, nadroid.CorpusOptions{Analysis: opts.ToOptions()}) {
+			if r.Err != nil {
+				t.Errorf("%s: %v", r.App, r.Err)
+				continue
+			}
+			app, _ := corpus.ByName(r.App)
+			key := server.ResultKey(dexasm.Format(app.Build()), opts)
+			run, err := server.StoreRun(key, opts, server.EncodeResult(r.App, r.Result), time.Now())
+			if err == nil {
+				err = st.Put(run)
+			}
+			if err != nil {
+				t.Errorf("%s: persist: %v", r.App, err)
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for _, opts := range []server.OptionsWire{{}, {SkipUnsoundFilters: true}} {
+		wg.Add(1)
+		go func(o server.OptionsWire) {
+			defer wg.Done()
+			sweep(o)
+		}(opts)
+	}
+	wg.Wait()
+
+	fresh, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fresh.Len(), 2*len(apps); got != want {
+		t.Errorf("stored runs = %d, want %d (two sweeps x %d apps)", got, want, len(apps))
+	}
+	if got := len(fresh.Apps()); got != len(apps) {
+		t.Errorf("stored apps = %d, want %d", got, len(apps))
+	}
+	if c := fresh.Counters(); c.LoadErrors != 0 {
+		t.Errorf("load errors after concurrent sweeps: %+v", c)
+	}
+	// Every app now has a default-options and a sound-only run — the
+	// diff between them is well-formed.
+	for _, name := range apps {
+		if _, err := fresh.Diff(name, "", ""); err != nil {
+			t.Errorf("diff %s: %v", name, err)
+		}
+	}
+}

@@ -12,7 +12,7 @@ import (
 	"nadroid"
 	"nadroid/internal/corpus"
 	"nadroid/internal/explore"
-	"nadroid/internal/uaf"
+	"nadroid/internal/fingerprint"
 )
 
 // runWorkers runs the full pipeline (with validation) on one corpus app
@@ -32,16 +32,6 @@ func runWorkers(t *testing.T, app string, workers int) *nadroid.Result {
 		t.Fatal(err)
 	}
 	return res
-}
-
-// warningFingerprint captures everything filters may touch on a warning:
-// identity, surviving pairs, and per-pair filter attribution.
-func warningFingerprint(w *uaf.Warning) map[string]any {
-	return map[string]any{
-		"key":      w.Key(),
-		"pairs":    append([]uaf.ThreadPair(nil), w.Pairs...),
-		"filtered": w.FilteredBy,
-	}
 }
 
 func TestPipelineParallelMatchesSequential(t *testing.T) {
@@ -67,9 +57,12 @@ func TestPipelineParallelMatchesSequential(t *testing.T) {
 				t.Fatalf("%s workers=%d: warning count %d != %d", app, workers,
 					len(par.Detection.Warnings), len(seq.Detection.Warnings))
 			}
+			// fingerprint.Snap captures everything filters may touch on a
+			// warning: the stable identity, surviving pairs, and per-pair
+			// filter attribution.
 			for i := range seq.Detection.Warnings {
-				got := warningFingerprint(par.Detection.Warnings[i])
-				want := warningFingerprint(seq.Detection.Warnings[i])
+				got := fingerprint.Snap(par.Detection.Model, par.Detection.Warnings[i])
+				want := fingerprint.Snap(seq.Detection.Model, seq.Detection.Warnings[i])
 				if !reflect.DeepEqual(got, want) {
 					t.Errorf("%s workers=%d: warning %d differs:\n got %+v\nwant %+v", app, workers, i, got, want)
 				}
