@@ -22,16 +22,17 @@ race:
 	$(GO) test -short -race ./...
 
 # bench sweeps every benchmark once (1x keeps the full-corpus pipeline
-# benchmarks tractable) and converts the output into BENCH_pr4.json:
-# per-phase medians, deep counters, and the traced-vs-untraced pair.
+# benchmarks tractable) and converts the output into BENCH_pr6.json:
+# per-phase medians (including the per-detector PhaseDetection/<name>
+# split), deep counters, and the traced-vs-untraced pair.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x . | $(GO) run ./cmd/benchjson -out BENCH_pr4.json
+	$(GO) test -run '^$$' -bench . -benchtime 1x . | $(GO) run ./cmd/benchjson -out BENCH_pr6.json
 
 # bench-diff compares the fresh sweep against the previous PR's committed
 # baseline. Advisory because 1x benchmarks are noisy; read the per-line
 # percentages, not just the exit status.
 bench-diff: bench
-	$(GO) run ./cmd/benchjson diff -advisory BENCH_pr3.json BENCH_pr4.json
+	$(GO) run ./cmd/benchjson diff -advisory BENCH_pr4.json BENCH_pr6.json
 
 check: build vet race bench-diff
 

@@ -21,6 +21,7 @@ import (
 
 	"nadroid"
 	"nadroid/internal/corpus"
+	"nadroid/internal/detect"
 	"nadroid/internal/deva"
 	"nadroid/internal/dynrace"
 	"nadroid/internal/escape"
@@ -288,12 +289,30 @@ func BenchmarkPhasePointsTo(b *testing.B) {
 	b.ReportMetric(float64(st.MCtxs), "mctxs")
 }
 
-// BenchmarkPhaseDetection measures race/UAF detection (§5) alone.
+// BenchmarkPhaseDetection splits the detection phase per detector:
+// "context" measures the shared analysis state (accesses, escape, MHB,
+// Datalog fact base) every detector rides on, and each named
+// sub-benchmark measures one registered family against a prebuilt
+// context — the per-detector cost the pipeline pays on top of the
+// shared build. Rendered as PhaseDetection/<name> in BENCH json.
 func BenchmarkPhaseDetection(b *testing.B) {
 	m := phaseApp(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		uaf.Detect(m)
+	b.Run("context", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			detect.BuildContext(context.Background(), "Mms", m, detect.Options{})
+		}
+	})
+	for _, d := range detect.All() {
+		d := d
+		b.Run(d.Name(), func(b *testing.B) {
+			dc := detect.BuildContext(context.Background(), "Mms", m, detect.Options{})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Detect(context.Background(), dc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

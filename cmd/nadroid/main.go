@@ -30,10 +30,12 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"nadroid"
 	"nadroid/internal/apk"
 	"nadroid/internal/corpus"
+	"nadroid/internal/detect"
 	"nadroid/internal/deva"
 	"nadroid/internal/dexasm"
 	"nadroid/internal/dynrace"
@@ -69,6 +71,8 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the report and timing as JSON (the nadroid-serve wire format)")
 		explain   = flag.Bool("explain", false, "with -validate: replay each witness as an event narrative")
 		noSleep   = flag.Bool("nosleep", false, "also run the §9 no-sleep energy-bug detector")
+		detFlag   = flag.String("detectors", "", "comma-separated detector names to run (default: all; see -list-detectors)")
+		detList   = flag.Bool("list-detectors", false, "list registered bug-family detectors and exit")
 		devaMode  = flag.Bool("deva", false, "run the DEvA baseline instead of nAdroid")
 		dynMode   = flag.Bool("dynamic", false, "run the trace-based dynamic detector (one default-schedule execution)")
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON of the run to FILE (chrome://tracing)")
@@ -113,6 +117,16 @@ func main() {
 		}
 		return
 	}
+	if *detList {
+		for _, d := range detect.All() {
+			fmt.Printf("%-14s %s\n", d.Name(), d.Describe())
+		}
+		return
+	}
+	detectors := splitDetectors(*detFlag)
+	if _, err := detect.Select(detectors); err != nil {
+		fatalf("%v", err)
+	}
 	if *dump != "" {
 		app, ok := corpus.ByName(*dump)
 		if !ok {
@@ -130,9 +144,11 @@ func main() {
 				SkipUnsoundFilters: *noUnsound,
 				Validate:           *validate,
 				Explore:            explore.Options{MaxSchedules: *budget},
+				Detectors:          detectors,
 			},
 		}, *csv, *storeDir, server.OptionsWire{
 			K: *k, SkipUnsoundFilters: *noUnsound, Validate: *validate, MaxSchedules: *budget,
+			Detectors: detectors,
 		})
 		return
 	}
@@ -176,6 +192,7 @@ func main() {
 		Validate:           *validate,
 		Explore:            explore.Options{MaxSchedules: *budget},
 		Workers:            *workers,
+		Detectors:          detectors,
 	})
 	if err != nil {
 		fatalf("analyze: %v", err)
@@ -197,6 +214,7 @@ func main() {
 
 	optsWire := server.OptionsWire{
 		K: *k, SkipUnsoundFilters: *noUnsound, Validate: *validate, MaxSchedules: *budget,
+		Detectors: detectors,
 	}
 	if *storeDir != "" {
 		st := mustOpenStore(*storeDir)
@@ -251,7 +269,12 @@ func main() {
 		}
 	}
 	if *noSleep {
-		ns := nosleep.Detect(res.Model)
+		// The detector pipeline already ran nosleep when it was enabled;
+		// reuse that result rather than re-deriving the MHB graph.
+		ns := res.Detect.NoSleep
+		if ns == nil {
+			ns = nosleep.Detect(res.Model)
+		}
 		fmt.Printf("no-sleep warnings: %d (%d acquire sites, %d release sites)\n",
 			len(ns.Warnings), len(ns.Acquires), len(ns.Releases))
 		for _, w := range ns.Warnings {
@@ -327,6 +350,24 @@ func loadPackage(appName, path string) (*apk.Package, error) {
 	default:
 		return nil, fmt.Errorf("nothing to analyze: pass a .dexasm file or -app NAME")
 	}
+}
+
+// splitDetectors parses the -detectors CSV; an empty flag means the
+// default (nil = every detector).
+func splitDetectors(csv string) []string {
+	if csv == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(csv, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	if out == nil {
+		out = []string{} // "-detectors ," means an explicitly empty set: rejected
+	}
+	return out
 }
 
 func fatalf(format string, args ...interface{}) {

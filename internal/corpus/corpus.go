@@ -48,6 +48,13 @@ type Spec struct {
 	CHBIntraFinish int // intra-class finish canceller (CHB-filtered)
 	FragmentPair   int // Fragment lifecycle UAF (nAdroid blind spot, §8.1)
 
+	// Async-error seeds (arXiv:1808.03178; the leaked-thread and
+	// lost-result detector families, invisible to the UAF pipeline).
+	LeakedThread     int // worker thread outlives its component's teardown
+	LeakedThreadJoin int // benign: onDestroy interrupts the worker
+	LostResult       int // posted result never drained before teardown
+	LostResultCancel int // benign: onDestroy drains via removeCallbacksAndMessages
+
 	// False-positive seeds (§8.5).
 	FPPathInsens, FPPointsTo, FPNotReach, FPMissingHB int
 
@@ -101,6 +108,10 @@ func (s Spec) emit(g *gen) {
 	repeat(s.URReturn, g.urReturn)
 	repeat(s.URParam, g.urParam)
 	repeat(s.TTThread, g.ttThread)
+	repeat(s.LeakedThread, func() { g.leakedThread(false) })
+	repeat(s.LeakedThreadJoin, func() { g.leakedThread(true) })
+	repeat(s.LostResult, func() { g.lostResult(false) })
+	repeat(s.LostResultCancel, func() { g.lostResult(true) })
 	repeat(s.FPPathInsens, g.fpPathInsens)
 	repeat(s.FPPointsTo, g.fpPointsTo)
 	repeat(s.FPNotReach, g.fpNotReach)
@@ -120,9 +131,21 @@ func (a App) Name() string { return a.Spec.Name }
 func (a App) Build() *apk.Package { return a.Spec.Build() }
 
 // Apps returns the full 27-app corpus in Table 1 order (train first).
+// The async-family apps are deliberately excluded: Table 1's UAF
+// totals are defined over exactly these 27.
 func Apps() []App {
 	var out []App
 	for _, s := range specs {
+		out = append(out, App{Spec: s})
+	}
+	return out
+}
+
+// AsyncApps returns the supplemental apps seeding the leaked-thread and
+// lost-result ground truth (group "async").
+func AsyncApps() []App {
+	var out []App
+	for _, s := range asyncSpecs {
 		out = append(out, App{Spec: s})
 	}
 	return out
@@ -146,9 +169,15 @@ func filterGroup(group string) []App {
 	return out
 }
 
-// ByName finds an app; ok is false for unknown names.
+// ByName finds an app (Table 1 corpus or async supplement); ok is false
+// for unknown names.
 func ByName(name string) (App, bool) {
 	for _, s := range specs {
+		if s.Name == name {
+			return App{Spec: s}, true
+		}
+	}
+	for _, s := range asyncSpecs {
 		if s.Name == name {
 			return App{Spec: s}, true
 		}
@@ -156,10 +185,14 @@ func ByName(name string) (App, bool) {
 	return App{}, false
 }
 
-// Names lists all corpus app names, sorted.
+// Names lists all corpus app names (Table 1 plus async supplement),
+// sorted.
 func Names() []string {
 	var out []string
 	for _, s := range specs {
+		out = append(out, s.Name)
+	}
+	for _, s := range asyncSpecs {
 		out = append(out, s.Name)
 	}
 	sort.Strings(out)

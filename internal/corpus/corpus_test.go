@@ -163,8 +163,16 @@ func TestCorpusInventory(t *testing.T) {
 	if _, ok := ByName("NoSuchApp"); ok {
 		t.Error("ByName must reject unknown names")
 	}
-	if got := len(Names()); got != 27 {
-		t.Errorf("Names = %d", got)
+	// Names covers the Table 1 set plus the async-family apps, which are
+	// addressable (ByName, -app) but excluded from Apps().
+	if got := len(Names()); got != 27+len(AsyncApps()) {
+		t.Errorf("Names = %d, want %d", got, 27+len(AsyncApps()))
+	}
+	if got := len(AsyncApps()); got != 3 {
+		t.Errorf("async apps = %d, want 3", got)
+	}
+	if _, ok := ByName("ThreadHerder"); !ok {
+		t.Error("ByName(ThreadHerder) failed")
 	}
 }
 

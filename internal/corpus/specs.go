@@ -187,3 +187,29 @@ var specs = []Spec{
 		Padding: 40,
 	},
 }
+
+// asyncSpecs seeds the ground truth for the async-error detector
+// families (arXiv:1808.03178). These apps are NOT part of the Table 1
+// corpus — Apps() and the golden UAF totals exclude them — but they are
+// addressable by name (-app, /v1/analyze) and AsyncApps() drives the
+// family acceptance tests: every *Thread/*Result seed must be reported,
+// every *Join/*Cancel seed must be recognized as covered.
+var asyncSpecs = []Spec{
+	{
+		Name: "ThreadHerder", Group: "async",
+		LeakedThread: 2, LeakedThreadJoin: 1,
+		Padding: 2,
+	},
+	{
+		Name: "ResultCourier", Group: "async",
+		LostResult: 2, LostResultCancel: 1,
+		Padding: 2,
+	},
+	{
+		Name: "AsyncGrabBag", Group: "async",
+		LeakedThread: 1, LeakedThreadJoin: 1,
+		LostResult: 1, LostResultCancel: 1,
+		TrueThread: 1, IGLooper: 2,
+		Padding: 3,
+	},
+}

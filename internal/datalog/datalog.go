@@ -47,6 +47,10 @@ type Engine struct {
 	relList  []*Relation
 	rules    []*Rule
 	compiled []*crule
+	// ranRules counts the compiled rules already evaluated to fixpoint
+	// by a previous Run; rules beyond it get a seeding round over the
+	// full database on the next Run.
+	ranRules int
 	workers  int
 	stats    Stats
 }
@@ -274,6 +278,9 @@ type Relation struct {
 	index map[int]map[Sym][]int32
 	// deltaLo/deltaHi mark the current semi-naive delta as a row range.
 	deltaLo, deltaHi int
+	// evalMark is the row count at the end of the last Run: rows below
+	// it have reached fixpoint under every rule Run has already seen.
+	evalMark int
 }
 
 // Arity returns the relation's arity.

@@ -45,6 +45,15 @@ func newScratch(e *Engine) *scratch {
 }
 
 // Run evaluates all rules to fixpoint using semi-naive iteration.
+//
+// Run is incremental across calls on one engine: the first call
+// evaluates everything, and a later call only re-derives what changed —
+// rules added since the previous Run get one seeding round over the
+// whole existing database, and every rule then iterates over the rows
+// appended since the previous fixpoint (new base facts plus what the
+// seeding round derived). A Run with no new rules and no new facts is a
+// no-op. This is what lets detectors layer rule families onto one
+// shared engine without re-paying the earlier families' joins.
 func (e *Engine) Run() {
 	e.compile()
 	workers := e.workers
@@ -64,15 +73,53 @@ func (e *Engine) Run() {
 			}
 		}
 	}
+	defer func() {
+		for _, r := range e.relList {
+			r.evalMark = r.rows
+		}
+		e.ranRules = len(e.compiled)
+	}()
 
-	// The first delta is everything currently in each relation.
-	for _, r := range e.relList {
-		r.deltaLo, r.deltaHi = 0, r.rows
+	if e.ranRules == 0 {
+		// First evaluation: the first delta is everything currently in
+		// each relation.
+		for _, r := range e.relList {
+			r.deltaLo, r.deltaHi = 0, r.rows
+		}
+		e.fixpoint(e.compiled, workers)
+		return
 	}
+
+	// Incremental re-run. New rules have never seen the database: give
+	// them one round where the delta is every existing row. Their
+	// derivations land above each relation's evalMark, so the fixpoint
+	// below picks them up.
+	if fresh := e.compiled[e.ranRules:]; len(fresh) > 0 {
+		for _, r := range e.relList {
+			r.deltaLo, r.deltaHi = 0, r.rows
+		}
+		if items := e.buildWorkItems(nil, workers, fresh); len(items) > 0 {
+			e.stats.Iterations++
+			outs := e.evalRound(items, workers)
+			e.stats.Derived += e.mergeRound(items, outs, workers)
+		}
+	}
+	// Old rules already reached fixpoint over rows below evalMark; only
+	// the appended rows can produce new joins (each delta plan probes
+	// the full relations for its other literals).
+	for _, r := range e.relList {
+		r.deltaLo, r.deltaHi = r.evalMark, r.rows
+	}
+	e.fixpoint(e.compiled, workers)
+}
+
+// fixpoint iterates the rules' delta plans from the currently seeded
+// per-relation deltas until no relation grows.
+func (e *Engine) fixpoint(rules []*crule, workers int) {
 	var items []workItem
 	for {
 		e.stats.Iterations++
-		items = e.buildWorkItems(items[:0], workers)
+		items = e.buildWorkItems(items[:0], workers, rules)
 		if len(items) == 0 {
 			return
 		}
@@ -96,11 +143,11 @@ func (e *Engine) Run() {
 	}
 }
 
-// buildWorkItems chunks every rule's non-empty delta ranges. Chunks are
-// sized so each worker sees several items (for load balance) without
-// fragmenting small deltas.
-func (e *Engine) buildWorkItems(items []workItem, workers int) []workItem {
-	for _, cr := range e.compiled {
+// buildWorkItems chunks every given rule's non-empty delta ranges.
+// Chunks are sized so each worker sees several items (for load balance)
+// without fragmenting small deltas.
+func (e *Engine) buildWorkItems(items []workItem, workers int, rules []*crule) []workItem {
+	for _, cr := range rules {
 		for pi := range cr.plans {
 			p := &cr.plans[pi]
 			d := p.delta.rel

@@ -1,0 +1,32 @@
+package detect
+
+import (
+	"context"
+
+	"nadroid/internal/nosleep"
+)
+
+// nosleepDetector is the §9 no-sleep energy-bug extension ported onto
+// the registry, reusing the shared MHB graph instead of rebuilding it.
+// Its structured result lands on the context (surfaced by the CLI's
+// -nosleep flag); it reports no generic warnings, keeping the classic
+// report byte-identical.
+type nosleepDetector struct{}
+
+func (nosleepDetector) Name() string { return "nosleep" }
+
+func (nosleepDetector) Describe() string {
+	return "no-sleep energy bugs: wake-lock acquires never guaranteed released (§9)"
+}
+
+func (nosleepDetector) count(dc *Context) int {
+	if dc.NoSleep == nil {
+		return 0
+	}
+	return len(dc.NoSleep.Warnings)
+}
+
+func (nosleepDetector) Detect(ctx context.Context, dc *Context) ([]Warning, error) {
+	dc.NoSleep = nosleep.DetectWith(dc.Model, dc.MHB)
+	return nil, nil
+}

@@ -1,0 +1,90 @@
+package detect
+
+import (
+	"fmt"
+	"strings"
+)
+
+// registry fixes the canonical detector order. Selection output always
+// follows this order, so the same set spelled differently yields the
+// same pipeline.
+var registry = []Detector{
+	uafDetector{},
+	nosleepDetector{},
+	leakedThreadDetector{},
+	lostResultDetector{},
+}
+
+// All returns every registered detector in canonical order.
+func All() []Detector {
+	return append([]Detector(nil), registry...)
+}
+
+// Names returns the registered detector names in canonical order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, d := range registry {
+		out[i] = d.Name()
+	}
+	return out
+}
+
+// ByName returns the named detector.
+func ByName(name string) (Detector, bool) {
+	for _, d := range registry {
+		if d.Name() == name {
+			return d, true
+		}
+	}
+	return nil, false
+}
+
+// Select resolves a detector-name set to detectors in canonical
+// registry order, deduplicating repeats. nil selects every detector
+// (the default); an explicitly empty set is an error, as is any unknown
+// name (the error lists the valid names).
+func Select(names []string) ([]Detector, error) {
+	if names == nil {
+		return All(), nil
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("detect: empty detector set (valid: %s)", strings.Join(Names(), ", "))
+	}
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		if _, ok := ByName(n); !ok {
+			return nil, fmt.Errorf("detect: unknown detector %q (valid: %s)", n, strings.Join(Names(), ", "))
+		}
+		want[n] = true
+	}
+	var out []Detector
+	for _, d := range registry {
+		if want[d.Name()] {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// Normalize canonicalizes a detector-name set the way cache and store
+// keys need it: nil stays nil (default = all), and a set naming every
+// detector collapses to nil so "all spelled out" and "default" address
+// the same cached result. Other sets come back deduplicated in
+// canonical registry order. Unknown names are reported like Select.
+func Normalize(names []string) ([]string, error) {
+	if names == nil {
+		return nil, nil
+	}
+	ds, err := Select(names)
+	if err != nil {
+		return nil, err
+	}
+	if len(ds) == len(registry) {
+		return nil, nil
+	}
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.Name()
+	}
+	return out, nil
+}

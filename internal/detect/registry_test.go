@@ -1,0 +1,103 @@
+package detect
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRegistryOrderIsStable(t *testing.T) {
+	want := []string{"uaf", "nosleep", "leaked-thread", "lost-result"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("registry order = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		d, ok := ByName(name)
+		if !ok {
+			t.Fatalf("ByName(%q) missing", name)
+		}
+		if d.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, d.Name())
+		}
+		if d.Describe() == "" {
+			t.Errorf("%s: empty description", name)
+		}
+	}
+}
+
+func TestSelectDefaultsToAll(t *testing.T) {
+	ds, err := Select(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != len(registry) {
+		t.Fatalf("Select(nil) = %d detectors, want %d", len(ds), len(registry))
+	}
+}
+
+func TestSelectUnknownNameListsValid(t *testing.T) {
+	_, err := Select([]string{"uaf", "bogus"})
+	if err == nil {
+		t.Fatal("Select with unknown name succeeded")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "bogus") {
+		t.Errorf("error %q does not name the offender", msg)
+	}
+	for _, name := range Names() {
+		if !strings.Contains(msg, name) {
+			t.Errorf("error %q does not list valid detector %q", msg, name)
+		}
+	}
+}
+
+func TestSelectEmptySetRejected(t *testing.T) {
+	if _, err := Select([]string{}); err == nil {
+		t.Fatal("Select(empty non-nil) succeeded; an explicitly empty set must be an error")
+	}
+}
+
+func TestSelectOrderIndependentAndDeduped(t *testing.T) {
+	a, err := Select([]string{"nosleep", "uaf", "nosleep"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Select([]string{"uaf", "nosleep"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := func(ds []Detector) []string {
+		var out []string
+		for _, d := range ds {
+			out = append(out, d.Name())
+		}
+		return out
+	}
+	if !reflect.DeepEqual(names(a), names(b)) {
+		t.Fatalf("selection depends on input order: %v vs %v", names(a), names(b))
+	}
+	if !reflect.DeepEqual(names(a), []string{"uaf", "nosleep"}) {
+		t.Fatalf("selection = %v, want canonical registry order [uaf nosleep]", names(a))
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if got, err := Normalize(nil); err != nil || got != nil {
+		t.Errorf("Normalize(nil) = %v, %v; want nil, nil", got, err)
+	}
+	// The full set in any spelling collapses to the default nil.
+	full := []string{"lost-result", "uaf", "leaked-thread", "nosleep"}
+	if got, err := Normalize(full); err != nil || got != nil {
+		t.Errorf("Normalize(full set) = %v, %v; want nil, nil", got, err)
+	}
+	got, err := Normalize([]string{"nosleep", "uaf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{"uaf", "nosleep"}) {
+		t.Errorf("Normalize subset = %v, want canonical [uaf nosleep]", got)
+	}
+	if _, err := Normalize([]string{"nope"}); err == nil {
+		t.Error("Normalize accepted an unknown detector")
+	}
+}

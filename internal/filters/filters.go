@@ -80,10 +80,19 @@ func NewContext(d *uaf.Detection) *Context { return NewContextWith(d, Options{})
 
 // NewContextWith is NewContext with explicit options.
 func NewContextWith(d *uaf.Detection, opts Options) *Context {
+	return newContextMHB(d, opts, nil)
+}
+
+// newContextMHB builds the filter context around a prebuilt MHB graph
+// (nil rebuilds it from the model).
+func newContextMHB(d *uaf.Detection, opts Options, g *hb.Graph) *Context {
+	if g == nil {
+		g = hb.BuildMHB(d.Model)
+	}
 	ctx := &Context{
 		D:                    d,
 		Model:                d.Model,
-		MHB:                  hb.BuildMHB(d.Model),
+		MHB:                  g,
 		Locks:                lockset.Analyze(d.Model),
 		trustLooperAtomicity: !opts.MultiLooper,
 		accIdx:               make(map[accKey]race.Access),
@@ -256,6 +265,9 @@ type RunConfig struct {
 	// (0 = GOMAXPROCS, 1 = sequential). Filters still run strictly in
 	// pipeline order, so attribution is identical for any setting.
 	Workers int
+	// MHB, when non-nil, is a prebuilt must-happen-before graph reused
+	// from the shared detector context; nil rebuilds it from the model.
+	MHB *hb.Graph
 }
 
 // Run applies the sound filters then the unsound filters in sequence,
@@ -270,7 +282,7 @@ func Run(d *uaf.Detection) *Stats {
 // pairs removed, and warnings killed as per-filter pipeline counters.
 func RunWith(octx context.Context, d *uaf.Detection, cfg RunConfig) *Stats {
 	_, span := obs.Start(octx, "filters.context")
-	ctx := NewContextWith(d, cfg.Options)
+	ctx := newContextMHB(d, cfg.Options, cfg.MHB)
 	span.End()
 
 	workers := cfg.Workers

@@ -44,6 +44,27 @@ type ID string
 // silently.
 const version = "nadroid/fp/v1"
 
+// genericVersion domain-separates fingerprints of non-UAF detector
+// warnings from the UAF scheme above.
+const genericVersion = "nadroid/fp/v2"
+
+// Generic fingerprints a non-UAF detector warning from its detector
+// name and the detector-chosen stable content parts (never raw thread
+// IDs or instruction indices — detectors pass normalized sites and
+// lineage categories).
+func Generic(detector string, parts ...string) ID {
+	h := sha256.New()
+	io.WriteString(h, genericVersion)
+	io.WriteString(h, "\x00")
+	io.WriteString(h, detector)
+	io.WriteString(h, "\x00")
+	for _, p := range parts {
+		io.WriteString(h, p)
+		io.WriteString(h, "\x00")
+	}
+	return ID(hex.EncodeToString(h.Sum(nil)[:8]))
+}
+
 // Warning fingerprints one warning against the model it was detected
 // in. The model supplies the program (for method arities and access
 // ordinals) and the thread forest (for lineage categories).

@@ -287,6 +287,45 @@ func ClassifyPost(h Hierarchy, recvClass, method string) PostKind {
 	return PostNone
 }
 
+// ThreadControlKind enumerates the thread-teardown APIs the
+// leaked-thread detector accepts as evidence that a background thread is
+// collected before its component dies.
+type ThreadControlKind int
+
+const (
+	ThreadControlNone ThreadControlKind = iota
+	// ThreadControlJoin: Thread.join — the caller blocks until the
+	// receiver thread exits.
+	ThreadControlJoin
+	// ThreadControlInterrupt: Thread.interrupt — the receiver thread is
+	// asked to wind down.
+	ThreadControlInterrupt
+)
+
+var threadControlNames = map[ThreadControlKind]string{
+	ThreadControlNone:      "none",
+	ThreadControlJoin:      "join",
+	ThreadControlInterrupt: "interrupt",
+}
+
+func (k ThreadControlKind) String() string { return threadControlNames[k] }
+
+// ClassifyThreadControl classifies a virtual call as a thread-teardown
+// API (join/interrupt on a Thread subclass).
+func ClassifyThreadControl(h Hierarchy, recvClass, method string) ThreadControlKind {
+	switch method {
+	case "join":
+		if h.IsSubtypeOf(recvClass, Thread) {
+			return ThreadControlJoin
+		}
+	case "interrupt":
+		if h.IsSubtypeOf(recvClass, Thread) {
+			return ThreadControlInterrupt
+		}
+	}
+	return ThreadControlNone
+}
+
 // ClassifyCancel classifies a virtual call as a cancellation API.
 func ClassifyCancel(h Hierarchy, recvClass, method string) CancelKind {
 	switch method {

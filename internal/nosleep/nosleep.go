@@ -62,9 +62,15 @@ type Result struct {
 
 // Detect finds uncovered wake-lock acquires in the model.
 func Detect(m *threadify.Model) *Result {
+	return DetectWith(m, hb.BuildMHB(m))
+}
+
+// DetectWith is Detect against a prebuilt MHB graph, letting callers
+// that already computed the graph (the shared detector context) avoid
+// rebuilding it.
+func DetectWith(m *threadify.Model, g *hb.Graph) *Result {
 	res := &Result{}
 	collect(m, res)
-	g := hb.BuildMHB(m)
 
 	for _, a := range res.Acquires {
 		if coveredIntra(m, a) {

@@ -210,6 +210,16 @@ func DetectPairs(m *threadify.Model, accesses []Access, esc *escape.Result, opts
 func DetectPairsContext(ctx context.Context, m *threadify.Model, accesses []Access, esc *escape.Result, opts Options) []Pair {
 	e := datalog.NewEngine()
 	e.SetWorkers(opts.Workers)
+	PopulateFacts(e, accesses, esc, opts)
+	InstallRacyRules(e, opts)
+	return PairsFromEngine(ctx, e, accesses, opts)
+}
+
+// PopulateFacts loads the access and escape fact base into e: RdAcc and
+// WrAcc tuples per (access, thread, field, object) and the Esc relation
+// over thread-escaping objects. Detectors that share one engine call
+// this once and layer their own relations and rules on top.
+func PopulateFacts(e *datalog.Engine, accesses []Access, esc *escape.Result, opts Options) {
 	accSym := func(id int) datalog.Sym { return e.IntSym('a', id) }
 	thrSym := func(t int) datalog.Sym { return e.IntSym('t', t) }
 	objSym := func(o pointsto.ObjID) datalog.Sym { return e.IntSym('h', int(o)) }
@@ -254,11 +264,24 @@ func DetectPairsContext(ctx context.Context, m *threadify.Model, accesses []Acce
 			}
 		}
 	}
+}
 
+// InstallRacyRules adds the Racy derivation rules to an engine loaded by
+// PopulateFacts. Install at most once per engine — the engine does not
+// dedupe rules, so a second install would re-fire the same derivations
+// on every later Run.
+func InstallRacyRules(e *datalog.Engine, opts Options) {
 	e.MustRule("Racy(a, b) :- RdAcc(a, t1, f, h), WrAcc(b, t2, f, h), t1 != t2, Esc(h)")
 	if !opts.UseFreeOnly {
 		e.MustRule("Racy(a, b) :- WrAcc(a, t1, f, h), WrAcc(b, t2, f, h), t1 != t2, Esc(h)")
 	}
+}
+
+// PairsFromEngine runs an engine loaded by PopulateFacts with the Racy
+// rules installed (InstallRacyRules) and decodes the racy pairs. Engine
+// telemetry (fact/derived-tuple/iteration counters) is reported through
+// ctx.
+func PairsFromEngine(ctx context.Context, e *datalog.Engine, accesses []Access, opts Options) []Pair {
 	e.Run()
 	st := e.Stats()
 	obs.Add(ctx, "datalog_facts", int64(st.Facts))

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"nadroid/internal/fingerprint"
+	"nadroid/internal/ir"
 	"nadroid/internal/threadify"
 	"nadroid/internal/uaf"
 )
@@ -114,6 +115,26 @@ type Entry struct {
 	UseLineage, FreeLineage string
 }
 
+// Extra is one warning from a non-UAF detector family (leaked-thread,
+// lost-result, no-sleep, …), carried alongside the classic §7 entries
+// with its own detector-qualified tag and fingerprint.
+type Extra struct {
+	// Detector is the registry name of the family that produced it.
+	Detector string
+	// Tag is the per-family warning tag (e.g. "leaked-thread").
+	Tag string
+	// Subject names what the warning is about (a thread, a handler, …).
+	Subject string
+	// Site anchors the warning to one instruction.
+	Site ir.InstrID
+	// Lineage is the §7-style callback/thread chain of the subject.
+	Lineage string
+	// Detail is a one-line human explanation.
+	Detail string
+	// Fingerprint is the stable content-derived identity.
+	Fingerprint fingerprint.ID
+}
+
 // Report is the rendered output for one application.
 type Report struct {
 	App     string
@@ -121,6 +142,10 @@ type Report struct {
 	Entries []Entry
 	// ByCategory counts surviving warnings per category.
 	ByCategory map[Category]int
+	// Extras are warnings from the non-UAF detector families. They are
+	// rendered only when present, so runs with the classic detector set
+	// stay byte-identical to historical output.
+	Extras []Extra
 }
 
 // New renders the surviving warnings of a detection.
@@ -160,6 +185,15 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "    free: %s\n", w.Free)
 		fmt.Fprintf(&b, "          via %s\n", e.FreeLineage)
 	}
+	if len(r.Extras) > 0 {
+		fmt.Fprintf(&b, "== %s: %d additional detector warning(s) ==\n", r.App, len(r.Extras))
+		for i, x := range r.Extras {
+			fmt.Fprintf(&b, "[%d] %s/%s  %s  fp %s\n", i+1, x.Detector, x.Tag, x.Subject, x.Fingerprint)
+			fmt.Fprintf(&b, "    site: %s\n", x.Site)
+			fmt.Fprintf(&b, "          via %s\n", x.Lineage)
+			fmt.Fprintf(&b, "    note: %s\n", x.Detail)
+		}
+	}
 	return b.String()
 }
 
@@ -172,6 +206,12 @@ func (r *Report) CSV() string {
 		w := e.Warning
 		fmt.Fprintf(&b, "%s,%s,%s,%s,%s,%q,%q,%s\n",
 			r.App, w.Field, w.Use, w.Free, e.Category, e.UseLineage, e.FreeLineage, e.Fingerprint)
+	}
+	// Extras reuse the 8-column schema: subject in the field column, the
+	// site in the use column, and the detector-qualified tag as category.
+	for _, x := range r.Extras {
+		fmt.Fprintf(&b, "%s,%s,%s,%s,%s,%q,%q,%s\n",
+			r.App, x.Subject, x.Site, "-", x.Detector+":"+x.Tag, x.Lineage, x.Detail, x.Fingerprint)
 	}
 	return b.String()
 }

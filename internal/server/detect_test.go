@@ -1,0 +1,122 @@
+// detect_test.go covers the detector-selection surface of the service:
+// detector sets participate in the result cache / store key, selection
+// errors answer 400 before queuing, per-detector warning totals reach
+// /metrics, stored runs record their detector set, and the diff endpoint
+// refuses to compare runs produced by different detector pipelines.
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"nadroid/internal/detect"
+)
+
+func TestResultKeyDetectorSets(t *testing.T) {
+	def := ResultKey("app demo\n", OptionsWire{})
+	// The explicit full set in any order is the default set: same key.
+	full := ResultKey("app demo\n", OptionsWire{Detectors: []string{"lost-result", "uaf", "nosleep", "leaked-thread"}})
+	if full != def {
+		t.Error("explicit full detector set must share the default cache key")
+	}
+	sub := ResultKey("app demo\n", OptionsWire{Detectors: []string{"uaf"}})
+	if sub == def {
+		t.Error("a detector subset must not collide with the default key")
+	}
+	sub2 := ResultKey("app demo\n", OptionsWire{Detectors: []string{"uaf", "nosleep"}})
+	if sub2 == sub || sub2 == def {
+		t.Error("distinct detector subsets must have distinct keys")
+	}
+	// Spelling order of the same subset does not split the key.
+	if ResultKey("app demo\n", OptionsWire{Detectors: []string{"nosleep", "uaf"}}) != sub2 {
+		t.Error("detector subset key must be order-insensitive")
+	}
+}
+
+func TestStoreRunRecordsDetectors(t *testing.T) {
+	res := &ResultWire{App: "Demo"}
+	run, err := StoreRun("key1", OptionsWire{}, res, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The default expands to the full registry so future registry growth
+	// doesn't make old runs silently comparable to differently-shaped ones.
+	if want := detect.Names(); strings.Join(run.Detectors, ",") != strings.Join(want, ",") {
+		t.Errorf("default run detectors = %v, want %v", run.Detectors, want)
+	}
+	run, err = StoreRun("key2", OptionsWire{Detectors: []string{"nosleep", "uaf"}}, res, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(run.Detectors, ",") != "uaf,nosleep" {
+		t.Errorf("subset run detectors = %v, want canonical [uaf nosleep]", run.Detectors)
+	}
+}
+
+// TestAnalyzeDetectorSelectionEndToEnd drives detector selection over
+// HTTP against an async-corpus app: default runs report the family with
+// detector-qualified warnings, a uaf-only run hides them under a
+// separate cache key, bad names answer 400, /metrics exposes the
+// per-detector totals, and mismatched runs refuse to diff.
+func TestAnalyzeDetectorSelectionEndToEnd(t *testing.T) {
+	st := openStore(t, t.TempDir())
+	_, ts := newTestServer(t, Config{Workers: 1, Store: st})
+
+	full := analyzeApp(t, ts.URL, "ThreadHerder", nil)
+	var leaked int
+	for _, w := range full.Warnings {
+		if w.Detector == "leaked-thread" {
+			leaked++
+			if !strings.HasPrefix(w.Category, "leaked-thread:") {
+				t.Errorf("category = %q, want detector-qualified", w.Category)
+			}
+			if w.Fingerprint == "" {
+				t.Error("detector warning served without a fingerprint")
+			}
+		}
+	}
+	if leaked != 2 {
+		t.Fatalf("leaked-thread warnings served = %d, want the 2 seeded", leaked)
+	}
+
+	uafOnly := analyzeApp(t, ts.URL, "ThreadHerder", map[string]interface{}{"detectors": []string{"uaf"}})
+	if uafOnly.Cached {
+		t.Error("detector subset must miss the default-set cache entry")
+	}
+	for _, w := range uafOnly.Warnings {
+		if w.Detector != "" {
+			t.Errorf("uaf-only run still served %s warning %q", w.Detector, w.Field)
+		}
+	}
+
+	// Unknown detector names answer 400 before any job is queued.
+	resp, data := postJSON(t, ts.URL+"/v1/analyze", map[string]interface{}{
+		"app": "ThreadHerder", "options": map[string]interface{}{"detectors": []string{"raceomatic"}},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown detector: status %d, want 400 (%s)", resp.StatusCode, data)
+	}
+	if !strings.Contains(string(data), "raceomatic") {
+		t.Errorf("400 body %q should name the unknown detector", data)
+	}
+
+	_, metrics := getBody(t, ts.URL+"/metrics")
+	if !strings.Contains(string(metrics), `nadroid_detector_warnings_total{detector="leaked-thread"} 2`) {
+		t.Errorf("/metrics missing leaked-thread warning total:\n%s", metrics)
+	}
+	if !strings.Contains(string(metrics), `nadroid_detector_warnings_total{detector="uaf"}`) {
+		t.Error("/metrics missing uaf detector total")
+	}
+
+	// The two stored runs were produced by different detector pipelines:
+	// diffing them is a phantom delta and must be refused.
+	resp, data = getBody(t, ts.URL+"/v1/apps/ThreadHerder/diff")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mismatched-detector diff: status %d, want 400 (%s)", resp.StatusCode, data)
+	}
+	if !strings.Contains(string(data), "detector") {
+		t.Errorf("diff refusal %q should explain the detector mismatch", data)
+	}
+}

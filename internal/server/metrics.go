@@ -65,6 +65,10 @@ type Metrics struct {
 	suppressed uint64 // baseline-suppressed warnings across all results served
 	warmLoaded int    // cache entries preloaded from the store at startup
 
+	// detectors counts warnings per bug-family detector across every
+	// completed analysis (nadroid_detector_warnings_total{detector=…}).
+	detectors map[string]uint64
+
 	phases map[string]*histogram
 	// pipeline accumulates the per-job obs counter snapshots. Keys are
 	// already metric-shaped (`name` or `name{label="v"}`) and are exported
@@ -74,7 +78,22 @@ type Metrics struct {
 
 // NewMetrics builds an empty metric set.
 func NewMetrics() *Metrics {
-	return &Metrics{phases: make(map[string]*histogram), pipeline: make(map[string]int64)}
+	return &Metrics{
+		phases:    make(map[string]*histogram),
+		pipeline:  make(map[string]int64),
+		detectors: make(map[string]uint64),
+	}
+}
+
+// AddDetectorWarnings folds one analysis's per-detector warning counts
+// into the service totals. Detectors that ran with zero warnings still
+// register, so the family shows up in /metrics from its first run.
+func (m *Metrics) AddDetectorWarnings(counts map[string]int) {
+	m.mu.Lock()
+	for name, n := range counts {
+		m.detectors[name] += uint64(n)
+	}
+	m.mu.Unlock()
 }
 
 // MergePipeline folds one job's deep pipeline counters into the
@@ -198,6 +217,14 @@ func (m *Metrics) Render(cache *Cache, st *store.Store) string {
 	fmt.Fprintf(&b, "nadroid_cache_misses_total %d\n", misses)
 	fmt.Fprintf(&b, "nadroid_cache_entries %d\n", cache.Len())
 	fmt.Fprintf(&b, "nadroid_suppressed_warnings_total %d\n", m.suppressed)
+	dets := make([]string, 0, len(m.detectors))
+	for d := range m.detectors {
+		dets = append(dets, d)
+	}
+	sort.Strings(dets)
+	for _, d := range dets {
+		fmt.Fprintf(&b, "nadroid_detector_warnings_total{detector=%q} %d\n", d, m.detectors[d])
+	}
 	if st != nil {
 		sc := st.Counters()
 		fmt.Fprintf(&b, "nadroid_store_hits_total %d\n", sc.Hits)

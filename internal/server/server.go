@@ -264,6 +264,10 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if err := req.Options.Check(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 
 	key := ResultKey(canonical, req.Options)
 	if res, ok := s.cache.Get(key); ok {
@@ -296,6 +300,9 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		}
 		out := EncodeResult(appName, res)
 		s.metrics.ObserveTiming(out.Timing)
+		if res.Detect != nil {
+			s.metrics.AddDetectorWarnings(res.Detect.Counts)
+		}
 		s.persistRun(key, req.Options, out)
 		s.applyStoreBaseline(out)
 		s.cache.Put(key, out)

@@ -8,9 +8,11 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"strings"
 	"time"
 
 	"nadroid"
+	"nadroid/internal/detect"
 	"nadroid/internal/explore"
 	"nadroid/internal/store"
 )
@@ -25,10 +27,15 @@ type OptionsWire struct {
 	MultiLooper        bool `json:"multi_looper,omitempty"`
 	Validate           bool `json:"validate,omitempty"`
 	MaxSchedules       int  `json:"max_schedules,omitempty"`
+	// Detectors selects the bug-family detectors by registry name.
+	// Absent/null means every detector (the default).
+	Detectors []string `json:"detectors,omitempty"`
 }
 
 // Normalize fills defaults so that two requests meaning the same run
-// produce identical cache keys.
+// produce identical cache keys. Detector sets are canonicalized (the
+// full set collapses to the default nil); unknown names are left as-is
+// here and rejected by Validate / the analysis itself.
 func (o OptionsWire) Normalize() OptionsWire {
 	if o.K <= 0 {
 		o.K = 2
@@ -38,7 +45,17 @@ func (o OptionsWire) Normalize() OptionsWire {
 	} else if o.MaxSchedules <= 0 {
 		o.MaxSchedules = 3000
 	}
+	if ds, err := detect.Normalize(o.Detectors); err == nil {
+		o.Detectors = ds
+	}
 	return o
+}
+
+// Check rejects options the pipeline would refuse, so the API can
+// answer 400 before queuing a job.
+func (o OptionsWire) Check() error {
+	_, err := detect.Select(o.Detectors)
+	return err
 }
 
 // ToOptions converts to the analysis option set.
@@ -51,14 +68,22 @@ func (o OptionsWire) ToOptions() nadroid.Options {
 		MultiLooper:        o.MultiLooper,
 		Validate:           o.Validate,
 		Explore:            explore.Options{MaxSchedules: o.MaxSchedules},
+		Detectors:          o.Detectors,
 	}
 }
 
 // cacheKeyPart renders the normalized options canonically for hashing.
+// The detector set participates so runs with different detector sets
+// never collide; the default (all) renders nothing, keeping default
+// keys identical to historical ones.
 func (o OptionsWire) cacheKeyPart() string {
 	o = o.Normalize()
-	return fmt.Sprintf("k=%d sound=%t unsound=%t multilooper=%t validate=%t budget=%d",
+	part := fmt.Sprintf("k=%d sound=%t unsound=%t multilooper=%t validate=%t budget=%d",
 		o.K, o.SkipSoundFilters, o.SkipUnsoundFilters, o.MultiLooper, o.Validate, o.MaxSchedules)
+	if o.Detectors != nil {
+		part += " detectors=" + strings.Join(o.Detectors, ",")
+	}
+	return part
 }
 
 // AnalyzeRequest is the POST /v1/analyze body. Exactly one of App (a
@@ -85,6 +110,9 @@ type WarningWire struct {
 	// Fingerprint is the stable content-derived identity baselines and
 	// run diffs key on.
 	Fingerprint string `json:"fingerprint,omitempty"`
+	// Detector names the bug family for non-UAF warnings ("" = uaf, the
+	// classic family, so historical payloads keep their shape).
+	Detector    string `json:"detector,omitempty"`
 	Field       string `json:"field"`
 	Use         string `json:"use"`
 	Free        string `json:"free"`
@@ -201,6 +229,21 @@ func EncodeResult(app string, res *nadroid.Result) *ResultWire {
 		out.Warnings = append(out.Warnings, w)
 		byKey[e.Warning.Key()] = w
 	}
+	// Non-UAF detector warnings ride along with the detector name set,
+	// mirroring the report's Extras rows (subject in the field column,
+	// site in the use column, detector-qualified tag as category).
+	for _, x := range res.Report.Extras {
+		out.Warnings = append(out.Warnings, WarningWire{
+			Fingerprint: string(x.Fingerprint),
+			Detector:    x.Detector,
+			Field:       x.Subject,
+			Use:         x.Site.String(),
+			Free:        "-",
+			Category:    x.Detector + ":" + x.Tag,
+			UseLineage:  x.Lineage,
+			FreeLineage: x.Detail,
+		})
+	}
 	for _, h := range res.Harmful {
 		if w, ok := byKey[h.Key()]; ok {
 			out.Harmful = append(out.Harmful, w)
@@ -224,8 +267,16 @@ func StoreRun(key CacheKey, opts OptionsWire, res *ResultWire, now time.Time) (*
 	if err != nil {
 		return nil, err
 	}
+	// Persist the enabled detector set explicitly (the default nil
+	// expands to every registered name), so diffs can refuse to compare
+	// runs produced by different detector pipelines.
+	detectors := opts.Normalize().Detectors
+	if detectors == nil {
+		detectors = detect.Names()
+	}
 	r := &store.Run{
 		ID: string(key), App: res.App, Options: opts.cacheKeyPart(), CreatedAt: now.UTC(),
+		Detectors: detectors,
 		Stats: store.Stats{
 			Potential:    res.Stats.Potential,
 			AfterSound:   res.Stats.AfterSound,
@@ -236,7 +287,7 @@ func StoreRun(key CacheKey, opts OptionsWire, res *ResultWire, now time.Time) (*
 	}
 	for _, w := range res.Warnings {
 		r.Warnings = append(r.Warnings, store.Warning{
-			Fingerprint: w.Fingerprint, Field: w.Field, Use: w.Use, Free: w.Free,
+			Fingerprint: w.Fingerprint, Detector: w.Detector, Field: w.Field, Use: w.Use, Free: w.Free,
 			Category: w.Category, UseLineage: w.UseLineage, FreeLineage: w.FreeLineage,
 		})
 	}

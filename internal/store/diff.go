@@ -9,6 +9,8 @@ package store
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"time"
 )
 
@@ -109,6 +111,34 @@ func (s *Store) Diff(app, fromID, toID string) (*Diff, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := CheckComparable(from, to); err != nil {
+		return nil, err
+	}
 	base, _ := s.Baseline(app)
 	return ComputeDiff(from, to, base), nil
+}
+
+// CheckComparable refuses to diff runs produced by different detector
+// sets: a disabled detector's warnings would otherwise all read as
+// "fixed" (and re-enabling them as "new") — phantom deltas, not code
+// changes. Runs persisted before detector metadata existed (no
+// Detectors recorded) are accepted against anything.
+func CheckComparable(from, to *Run) error {
+	if len(from.Detectors) == 0 || len(to.Detectors) == 0 {
+		return nil
+	}
+	f := canonDetectors(from.Detectors)
+	t := canonDetectors(to.Detectors)
+	if f != t {
+		return fmt.Errorf("store: runs were produced with different detector sets (%s vs %s); re-run with matching -detectors to diff them",
+			f, t)
+	}
+	return nil
+}
+
+// canonDetectors renders a detector set order-insensitively.
+func canonDetectors(names []string) string {
+	out := append([]string(nil), names...)
+	sort.Strings(out)
+	return strings.Join(out, ",")
 }

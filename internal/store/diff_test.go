@@ -1,6 +1,7 @@
 package store
 
 import (
+	"strings"
 	"testing"
 	"time"
 )
@@ -140,5 +141,47 @@ func TestStoreDiffDefaultsAndErrors(t *testing.T) {
 		if _, err := s.Diff(tc.app, tc.from, tc.to); err == nil {
 			t.Errorf("Diff(%q,%q,%q): expected error", tc.app, tc.from, tc.to)
 		}
+	}
+}
+
+// TestDiffRefusesMismatchedDetectorSets: comparing a run produced with a
+// reduced detector set against a full-set run would report every
+// disabled family's warnings as fixed — a phantom delta the store must
+// refuse to compute. Legacy runs without detector metadata stay
+// comparable against anything.
+func TestDiffRefusesMismatchedDetectorSets(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2026, 8, 2, 0, 0, 0, 0, time.UTC)
+	full := testRun("App", "full", base, "aa")
+	full.Detectors = []string{"uaf", "nosleep", "leaked-thread", "lost-result"}
+	reduced := testRun("App", "reduced", base.Add(time.Hour), "aa", "bb")
+	reduced.Detectors = []string{"uaf"}
+	legacy := testRun("App", "legacy", base.Add(2*time.Hour), "bb")
+	sameReordered := testRun("App", "same", base.Add(3*time.Hour), "aa")
+	sameReordered.Detectors = []string{"lost-result", "uaf", "leaked-thread", "nosleep"}
+	for _, r := range []*Run{full, reduced, legacy, sameReordered} {
+		if err := s.Put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if _, err := s.Diff("App", "full", "reduced"); err == nil {
+		t.Error("diffing full-set vs reduced-set runs must fail")
+	} else if !strings.Contains(err.Error(), "detector") {
+		t.Errorf("mismatch error %q should mention detector sets", err)
+	}
+	// Same set, different order: comparable.
+	if _, err := s.Diff("App", "full", "same"); err != nil {
+		t.Errorf("order-insensitive set comparison failed: %v", err)
+	}
+	// Legacy runs (no recorded detectors) diff against anything.
+	if _, err := s.Diff("App", "reduced", "legacy"); err != nil {
+		t.Errorf("legacy run should be comparable: %v", err)
+	}
+	if _, err := s.Diff("App", "legacy", "full"); err != nil {
+		t.Errorf("legacy run should be comparable: %v", err)
 	}
 }

@@ -42,6 +42,8 @@ type Stats struct {
 // plus the human-facing review aids.
 type Warning struct {
 	Fingerprint string `json:"fingerprint"`
+	// Detector names the bug family ("" = uaf, the classic family).
+	Detector    string `json:"detector,omitempty"`
 	Field       string `json:"field"`
 	Use         string `json:"use"`
 	Free        string `json:"free"`
@@ -58,6 +60,10 @@ type Run struct {
 	App       string    `json:"app"`
 	Options   string    `json:"options,omitempty"`
 	CreatedAt time.Time `json:"created_at"`
+	// Detectors is the enabled detector set that produced the run.
+	// Runs persisted before detector selection existed have none; the
+	// differ only refuses when both sides carry metadata and disagree.
+	Detectors []string  `json:"detectors,omitempty"`
 	Stats     Stats     `json:"stats"`
 	Warnings  []Warning `json:"warnings"`
 	// Payload carries the caller's full wire-format result verbatim, so

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"nadroid/internal/apk"
+	"nadroid/internal/detect"
 	"nadroid/internal/explore"
 	"nadroid/internal/filters"
 	"nadroid/internal/obs"
@@ -60,6 +61,11 @@ type Options struct {
 	// 1 forces fully sequential execution. Results are identical for any
 	// setting.
 	Workers int
+	// Detectors selects the bug-family detectors to run by registry name
+	// (internal/detect). nil runs every registered detector; an empty
+	// non-nil set or an unknown name is an error. Disabling "uaf" skips
+	// the §6 filter pipeline and yields an empty classic report.
+	Detectors []string
 }
 
 // Timing is the per-phase wall-clock split (§8.8).
@@ -80,8 +86,13 @@ type Result struct {
 	// Model is the threadified program.
 	Model *threadify.Model
 	// Detection holds every potential warning, with filtered thread
-	// pairs annotated by the filter that removed them.
+	// pairs annotated by the filter that removed them. nil when the uaf
+	// detector was disabled via Options.Detectors.
 	Detection *uaf.Detection
+	// Detect bundles the full detector-pipeline output: which detectors
+	// ran, per-detector warning counts, the structured no-sleep result,
+	// and the generic warnings of the async-error families.
+	Detect *detect.Results
 	// Stats summarizes the filter pipeline.
 	Stats *filters.Stats
 	// Report classifies and ranks the survivors.
@@ -112,6 +123,11 @@ func Analyze(pkg *apk.Package, opts Options) (*Result, error) {
 // With nothing attached the instrumentation is a no-op.
 func AnalyzeContext(ctx context.Context, pkg *apk.Package, opts Options) (*Result, error) {
 	res := &Result{}
+	// Resolve the detector set before any expensive phase runs.
+	detectors, err := detect.Select(opts.Detectors)
+	if err != nil {
+		return nil, err
+	}
 	ctx, root := obs.Start(ctx, "analyze", obs.KV("app", pkg.Name), obs.KV("k", opts.K))
 	defer root.End()
 	log := obs.Logger(ctx)
@@ -136,33 +152,64 @@ func AnalyzeContext(ctx context.Context, pkg *apk.Package, opts Options) (*Resul
 	}
 	start = time.Now()
 	dctx, span := obs.Start(ctx, "detection")
-	res.Detection = uaf.DetectWith(dctx, model, uaf.Options{Workers: opts.Workers})
+	dc := detect.BuildContext(dctx, pkg.Name, model, detect.Options{Workers: opts.Workers})
+	dres, err := detect.Run(dctx, dc, detectors)
 	span.End()
+	if err != nil {
+		return nil, err
+	}
+	res.Detect = dres
+	res.Detection = dres.UAF
 	res.Timing.Detection = time.Since(start)
+	warnings := len(dres.Warnings)
+	if res.Detection != nil {
+		warnings += len(res.Detection.Warnings)
+	}
 	log.Info("phase done", "phase", "detection",
-		"ms", res.Timing.Detection.Milliseconds(), "warnings", len(res.Detection.Warnings))
+		"ms", res.Timing.Detection.Milliseconds(), "warnings", warnings)
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	start = time.Now()
-	fctx, span := obs.Start(ctx, "filtering")
-	res.Stats = filters.RunWith(fctx, res.Detection, filters.RunConfig{
-		Options:     filters.Options{MultiLooper: opts.MultiLooper},
-		SkipSound:   opts.SkipSoundFilters,
-		SkipUnsound: opts.SkipUnsoundFilters,
-		Workers:     opts.Workers,
-	})
-	span.End()
+	if res.Detection != nil {
+		fctx, span := obs.Start(ctx, "filtering")
+		res.Stats = filters.RunWith(fctx, res.Detection, filters.RunConfig{
+			Options:     filters.Options{MultiLooper: opts.MultiLooper},
+			SkipSound:   opts.SkipSoundFilters,
+			SkipUnsound: opts.SkipUnsoundFilters,
+			Workers:     opts.Workers,
+			MHB:         dc.MHB,
+		})
+		span.End()
+	} else {
+		// The uaf detector is disabled: nothing to filter.
+		res.Stats = &filters.Stats{Removed: make(map[string]int)}
+	}
 	res.Timing.Filtering = time.Since(start)
 	log.Info("phase done", "phase", "filtering",
 		"ms", res.Timing.Filtering.Milliseconds(), "surviving", res.Stats.AfterUnsound)
 
 	_, span = obs.Start(ctx, "report")
-	res.Report = report.New(pkg.Name, res.Detection)
+	if res.Detection != nil {
+		res.Report = report.New(pkg.Name, res.Detection)
+	} else {
+		res.Report = &report.Report{App: pkg.Name, Model: model, ByCategory: make(map[report.Category]int)}
+	}
+	for _, w := range dres.Warnings {
+		res.Report.Extras = append(res.Report.Extras, report.Extra{
+			Detector:    w.Detector,
+			Tag:         w.Tag,
+			Subject:     w.Subject,
+			Site:        w.Site,
+			Lineage:     w.Lineage,
+			Detail:      w.Detail,
+			Fingerprint: w.Fingerprint,
+		})
+	}
 	span.End()
 
-	if opts.Validate {
+	if opts.Validate && res.Detection != nil {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}

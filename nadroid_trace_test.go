@@ -77,12 +77,19 @@ func TestAnalyzeTraceTree(t *testing.T) {
 		}
 	}
 
-	// Detection has at least two sub-stages (collection, pairing, …).
+	// Detection has at least two sub-stages (shared-context build plus
+	// one span per enabled detector).
 	detection := findChild(t, analyze, "detection")
 	if n := len(detection.Children()); n < 2 {
 		t.Errorf("detection has %d sub-spans, want ≥2", n)
 	}
-	findChild(t, detection, "race.pair")
+	findChild(t, detection, "race.collect-accesses")
+	findChild(t, detection, "hb.build")
+	// The Datalog pairing now runs inside the uaf detector's span.
+	findChild(t, findChild(t, detection, "detect:uaf"), "race.pair")
+	for _, name := range []string{"detect:nosleep", "detect:leaked-thread", "detect:lost-result"} {
+		findChild(t, detection, name)
+	}
 
 	// Filtering fans out per filter.
 	filtering := findChild(t, analyze, "filtering")
@@ -118,6 +125,7 @@ func TestAnalyzeTraceTree(t *testing.T) {
 		"uaf_warnings",
 		"threads_modeled",
 		"explore_schedules_executed",
+		"detect_context_builds",
 	} {
 		if metrics.Get(name) <= 0 {
 			t.Errorf("counter %s = %d, want > 0", name, metrics.Get(name))
@@ -132,6 +140,16 @@ func TestAnalyzeTraceTree(t *testing.T) {
 	}
 	if !filterCounter {
 		t.Errorf("no per-filter counters recorded; have %v", metrics.Names())
+	}
+	var detectorCounters int
+	for _, name := range metrics.Names() {
+		if strings.HasPrefix(name, "detector_warnings{detector=") {
+			detectorCounters++
+		}
+	}
+	if detectorCounters != 4 {
+		t.Errorf("want one detector_warnings counter per registered detector (4), got %d; have %v",
+			detectorCounters, metrics.Names())
 	}
 
 	// The Chrome export is loadable JSON with one event per span.
