@@ -22,17 +22,23 @@ race:
 	$(GO) test -short -race ./...
 
 # bench sweeps every benchmark once (1x keeps the full-corpus pipeline
-# benchmarks tractable) and converts the output into BENCH_pr6.json:
+# benchmarks tractable) and converts the output into $(BENCH_OUT):
 # per-phase medians (including the per-detector PhaseDetection/<name>
 # split), deep counters, and the traced-vs-untraced pair.
-bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x . | $(GO) run ./cmd/benchjson -out BENCH_pr6.json
+BENCH_OUT := BENCH_pr7.json
+# The baseline is the newest committed BENCH_pr*.json other than the one
+# being written (version-sorted, so a pr10 would outrank a pr9).
+BENCH_BASE = $(shell ls BENCH_pr*.json 2>/dev/null | grep -vx '$(BENCH_OUT)' | sort -V | tail -1)
 
-# bench-diff compares the fresh sweep against the previous PR's committed
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x . | $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
+
+# bench-diff compares the fresh sweep against the newest committed
 # baseline. Advisory because 1x benchmarks are noisy; read the per-line
 # percentages, not just the exit status.
 bench-diff: bench
-	$(GO) run ./cmd/benchjson diff -advisory BENCH_pr4.json BENCH_pr6.json
+	@if [ -z "$(BENCH_BASE)" ]; then echo "bench-diff: no BENCH_pr*.json baseline, skipping"; \
+	else $(GO) run ./cmd/benchjson diff -advisory $(BENCH_BASE) $(BENCH_OUT); fi
 
 check: build vet race bench-diff
 

@@ -41,36 +41,48 @@ import (
 // benchmarkTable1Pipeline runs the static pipeline (model + detect +
 // filter) over the full 27-app corpus — the paper's Table 1 without the
 // manual-validation column — at one corpus-level worker count.
-func benchmarkTable1Pipeline(b *testing.B, workers int) {
+func benchmarkTable1Pipeline(b *testing.B, workers int, provenance bool) {
 	var work []nadroid.CorpusApp
 	for _, app := range corpus.Apps() {
 		work = append(work, nadroid.CorpusApp{Name: app.Name(), Build: app.Build})
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		var pot, sound, unsound int
-		for _, r := range nadroid.AnalyzeCorpus(work, nadroid.CorpusOptions{Workers: workers}) {
+		var pot, sound, unsound, records int
+		opts := nadroid.CorpusOptions{Workers: workers, Analysis: nadroid.Options{Provenance: provenance}}
+		for _, r := range nadroid.AnalyzeCorpus(work, opts) {
 			if r.Err != nil {
 				b.Fatal(r.Err)
 			}
 			pot += r.Result.Stats.Potential
 			sound += r.Result.Stats.AfterSound
 			unsound += r.Result.Stats.AfterUnsound
+			records += len(r.Result.Evidence)
 		}
 		b.ReportMetric(float64(pot), "potential")
 		b.ReportMetric(float64(sound), "after-sound")
 		b.ReportMetric(float64(unsound), "after-unsound")
+		if provenance {
+			b.ReportMetric(float64(records), "evidence-records")
+		}
 	}
 }
 
 // BenchmarkTable1Pipeline is the single-core reference sweep (one app at
 // a time), comparable across releases.
-func BenchmarkTable1Pipeline(b *testing.B) { benchmarkTable1Pipeline(b, 1) }
+func BenchmarkTable1Pipeline(b *testing.B) { benchmarkTable1Pipeline(b, 1, false) }
 
 // BenchmarkTable1PipelineParallel fans the corpus across GOMAXPROCS
 // workers via nadroid.AnalyzeCorpus; the headline metrics must match the
 // sequential run exactly.
-func BenchmarkTable1PipelineParallel(b *testing.B) { benchmarkTable1Pipeline(b, 0) }
+func BenchmarkTable1PipelineParallel(b *testing.B) { benchmarkTable1Pipeline(b, 0, false) }
+
+// BenchmarkTable1PipelineProvenance is the sequential sweep in
+// provenance mode: every derived tuple records its first derivation and
+// every warning assembles an evidence record. The delta against
+// BenchmarkTable1Pipeline is the provenance overhead quoted in
+// EXPERIMENTS.md; the headline warning counts must not move.
+func BenchmarkTable1PipelineProvenance(b *testing.B) { benchmarkTable1Pipeline(b, 1, true) }
 
 // BenchmarkTable1Validation regenerates the true-harmful column on the
 // apps that carry seeded bugs (the explorer dominates, so the corpus is

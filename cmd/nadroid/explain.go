@@ -1,0 +1,52 @@
+// explain.go implements `nadroid explain`: the CLI surface of warning
+// provenance. An analysis run with -provenance -store-dir persists an
+// evidence record per warning (Datalog derivation, aliasing chain,
+// filter trail, validation witness); explain retrieves one by
+// fingerprint — full or unique prefix — and renders it.
+//
+//	nadroid explain -store-dir DIR [-app NAME] [-json] FINGERPRINT
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"nadroid/internal/evidence"
+)
+
+// runExplain is the `nadroid explain` entry point.
+func runExplain(args []string) {
+	fs := flag.NewFlagSet("nadroid explain", flag.ExitOnError)
+	var (
+		storeDir = fs.String("store-dir", "", "analysis store directory (required)")
+		appName  = fs.String("app", "", "restrict the search to one app's runs (default: all apps)")
+		jsonOut  = fs.Bool("json", false, "emit the raw evidence record as JSON")
+	)
+	fs.Parse(args)
+	fp := fs.Arg(0)
+	if fp == "" {
+		fatalf("explain: usage: nadroid explain -store-dir DIR [-app NAME] [-json] FINGERPRINT")
+	}
+	st := mustOpenStore(*storeDir)
+	raw, runID, ok := st.EvidenceFor(*appName, fp)
+	if !ok {
+		fatalf("explain: no evidence for warning %q (analyze with -provenance -store-dir first; a short prefix may also be ambiguous)", fp)
+	}
+	if *jsonOut {
+		var pretty json.RawMessage = raw
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(pretty); err != nil {
+			fatalf("explain: encode: %v", err)
+		}
+		return
+	}
+	var ev evidence.Evidence
+	if err := json.Unmarshal(raw, &ev); err != nil {
+		fatalf("explain: stored evidence unreadable: %v", err)
+	}
+	fmt.Printf("run %s\n", shortID(runID))
+	fmt.Print(ev.Render())
+}

@@ -19,6 +19,11 @@
 //	nadroid -store-dir .nadroid-store -app ConnectBot
 //	nadroid baseline write -store-dir .nadroid-store -app ConnectBot
 //	nadroid diff -store-dir .nadroid-store -app ConnectBot
+//
+// Analyses run with -provenance additionally persist per-warning
+// evidence records (Datalog derivation, aliasing chain, filter trail,
+// validation witness) that `nadroid explain FINGERPRINT` renders
+// (see explain.go).
 package main
 
 import (
@@ -56,6 +61,9 @@ func main() {
 		case "baseline":
 			runBaseline(os.Args[2:])
 			return
+		case "explain":
+			runExplain(os.Args[2:])
+			return
 		}
 	}
 	var (
@@ -81,6 +89,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "pipeline worker pool bound (0 = GOMAXPROCS, 1 = sequential)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to FILE (go tool pprof)")
 		memProf   = flag.String("memprofile", "", "write a heap profile after the run to FILE (go tool pprof)")
+		provOn    = flag.Bool("provenance", false, "record warning provenance (derivations, filter trails); explore with `nadroid explain`")
 		storeDir  = flag.String("store-dir", "", "persist this analysis into a run store (enables `nadroid diff` / `baseline write`)")
 		baseFile  = flag.String("baseline", "", "suppress warnings listed in this baseline file (see `baseline write -o`)")
 	)
@@ -145,10 +154,11 @@ func main() {
 				Validate:           *validate,
 				Explore:            explore.Options{MaxSchedules: *budget},
 				Detectors:          detectors,
+				Provenance:         *provOn,
 			},
 		}, *csv, *storeDir, server.OptionsWire{
 			K: *k, SkipUnsoundFilters: *noUnsound, Validate: *validate, MaxSchedules: *budget,
-			Detectors: detectors,
+			Detectors: detectors, Provenance: *provOn,
 		})
 		return
 	}
@@ -193,6 +203,7 @@ func main() {
 		Explore:            explore.Options{MaxSchedules: *budget},
 		Workers:            *workers,
 		Detectors:          detectors,
+		Provenance:         *provOn,
 	})
 	if err != nil {
 		fatalf("analyze: %v", err)
@@ -214,7 +225,7 @@ func main() {
 
 	optsWire := server.OptionsWire{
 		K: *k, SkipUnsoundFilters: *noUnsound, Validate: *validate, MaxSchedules: *budget,
-		Detectors: detectors,
+		Detectors: detectors, Provenance: *provOn,
 	}
 	if *storeDir != "" {
 		st := mustOpenStore(*storeDir)
@@ -243,7 +254,13 @@ func main() {
 	}
 	hidden := suppressEntries(res, base)
 	if *csv {
-		fmt.Print(res.Report.CSV())
+		if *provOn {
+			// Provenance mode adds the ninth evidence-summary column; the
+			// classic 8-column schema is untouched otherwise.
+			fmt.Print(res.Report.CSVWithEvidence(res.Evidence))
+		} else {
+			fmt.Print(res.Report.CSV())
+		}
 	} else {
 		st := res.Model.Stats()
 		fmt.Printf("%s: %d EC, %d PC, %d threads modeled\n", pkg.Name, st.EC, st.PC, st.T)

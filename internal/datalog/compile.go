@@ -39,12 +39,22 @@ type crule struct {
 	head    []cterm
 	nvars   int
 	plans   []cplan
+	// idx is the rule's position in e.compiled; it keys provenance cells
+	// and the per-rule stat counters.
+	idx int
 }
 
 // compile extends e.compiled to cover rules added since the last Run.
 func (e *Engine) compile() {
 	for i := len(e.compiled); i < len(e.rules); i++ {
-		e.compiled = append(e.compiled, e.compileRule(e.rules[i]))
+		cr := e.compileRule(e.rules[i])
+		cr.idx = i
+		e.compiled = append(e.compiled, cr)
+	}
+	for len(e.ruleDerived) < len(e.compiled) {
+		e.ruleDerived = append(e.ruleDerived, 0)
+		e.ruleRounds = append(e.ruleRounds, 0)
+		e.ruleNanos = append(e.ruleNanos, 0)
 	}
 }
 

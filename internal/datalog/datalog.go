@@ -53,6 +53,13 @@ type Engine struct {
 	ranRules int
 	workers  int
 	stats    Stats
+	// provOn records derivation provenance per tuple (see provenance.go).
+	provOn bool
+	// Per-compiled-rule evaluation stats, indexed by crule.idx. Written
+	// with atomics during parallel rounds.
+	ruleDerived []int64
+	ruleRounds  []int64
+	ruleNanos   []int64
 }
 
 type intSymKey struct {
@@ -151,7 +158,7 @@ func (e *Engine) Relation(name string, arity int) *Relation {
 	if arity > maxArity {
 		panic(fmt.Sprintf("datalog: relation %s arity %d exceeds max %d", name, arity, maxArity))
 	}
-	r := &Relation{name: name, arity: arity}
+	r := &Relation{name: name, arity: arity, id: len(e.relList), provOn: e.provOn}
 	e.rels[name] = r
 	e.relList = append(e.relList, r)
 	return r
@@ -267,6 +274,9 @@ const Wild = Sym(-1)
 type Relation struct {
 	name  string
 	arity int
+	// id is the relation's index in the engine's relList; it addresses
+	// the relation inside packed provenance tuple IDs.
+	id int
 	// data holds rows back to back (row i at data[i*arity:]).
 	data []Sym
 	rows int
@@ -281,6 +291,10 @@ type Relation struct {
 	// evalMark is the row count at the end of the last Run: rows below
 	// it have reached fixpoint under every rule Run has already seen.
 	evalMark int
+	// provOn mirrors Engine.provOn; when set, prov holds one cell per
+	// row recording how the tuple was first derived.
+	provOn bool
+	prov   []provCell
 }
 
 // Arity returns the relation's arity.
@@ -326,6 +340,9 @@ func (r *Relation) insert(t []Sym) bool {
 			return false
 		}
 		r.rows = 1
+		if r.provOn {
+			r.prov = append(r.prov, provCell{rule: baseFact})
+		}
 		return true
 	}
 	if len(r.table) == 0 || uint32(r.rows+1)*4 >= uint32(len(r.table))*3 {
@@ -341,6 +358,11 @@ func (r *Relation) insert(t []Sym) bool {
 				idx[t[col]] = append(idx[t[col]], int32(r.rows))
 			}
 			r.rows++
+			if r.provOn {
+				// Every insert starts as a base fact; mergeRound overwrites
+				// the cell when the tuple was derived by a rule.
+				r.prov = append(r.prov, provCell{rule: baseFact})
+			}
 			return true
 		}
 		if r.equalRow(int(id-1), t) {

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Semi-naive evaluation. Each round snapshots every relation's new rows
@@ -28,6 +29,9 @@ type workItem struct {
 // scratch is one worker's reusable evaluation state.
 type scratch struct {
 	env []Sym
+	// prem is the premise stack of the provenance evaluation path: the
+	// packed tuple IDs of the positive body literals matched so far.
+	prem []int64
 }
 
 func newScratch(e *Engine) *scratch {
@@ -100,8 +104,8 @@ func (e *Engine) Run() {
 		}
 		if items := e.buildWorkItems(nil, workers, fresh); len(items) > 0 {
 			e.stats.Iterations++
-			outs := e.evalRound(items, workers)
-			e.stats.Derived += e.mergeRound(items, outs, workers)
+			outs, provs := e.evalRound(items, workers)
+			e.stats.Derived += e.mergeRound(items, outs, provs, workers)
 		}
 	}
 	// Old rules already reached fixpoint over rows below evalMark; only
@@ -123,13 +127,13 @@ func (e *Engine) fixpoint(rules []*crule, workers int) {
 		if len(items) == 0 {
 			return
 		}
-		outs := e.evalRound(items, workers)
+		outs, provs := e.evalRound(items, workers)
 
 		// Merge: new rows become the next delta.
 		for _, r := range e.relList {
 			r.deltaLo = r.rows
 		}
-		e.stats.Derived += e.mergeRound(items, outs, workers)
+		e.stats.Derived += e.mergeRound(items, outs, provs, workers)
 		grew := false
 		for _, r := range e.relList {
 			r.deltaHi = r.rows
@@ -171,20 +175,43 @@ func (e *Engine) buildWorkItems(items []workItem, workers int, rules []*crule) [
 			}
 		}
 	}
+	// Count a fired round per rule with work this round. Items for one
+	// rule are contiguous (rules, then plans, then chunks, in order).
+	var last *crule
+	for i := range items {
+		if items[i].cr != last {
+			last = items[i].cr
+			e.ruleRounds[last.idx]++
+		}
+	}
 	return items
 }
 
 // evalRound evaluates the items, returning one flat emit buffer per
-// item. Buffers are indexed by item, not worker, so the merge order is
+// item (plus, in provenance mode, one aligned cell buffer per item).
+// Buffers are indexed by item, not worker, so the merge order is
 // independent of goroutine scheduling.
-func (e *Engine) evalRound(items []workItem, workers int) [][]Sym {
+func (e *Engine) evalRound(items []workItem, workers int) ([][]Sym, [][]provCell) {
 	outs := make([][]Sym, len(items))
+	var provs [][]provCell
+	if e.provOn {
+		provs = make([][]provCell, len(items))
+	}
+	runItem := func(i int, sc *scratch) {
+		start := time.Now()
+		if provs != nil {
+			outs[i], provs[i] = e.evalItemProv(&items[i], sc, nil, nil)
+		} else {
+			outs[i] = e.evalItem(&items[i], sc, nil)
+		}
+		atomic.AddInt64(&e.ruleNanos[items[i].cr.idx], int64(time.Since(start)))
+	}
 	if workers == 1 || len(items) == 1 {
 		sc := newScratch(e)
 		for i := range items {
-			outs[i] = e.evalItem(&items[i], sc, nil)
+			runItem(i, sc)
 		}
-		return outs
+		return outs, provs
 	}
 	if workers > len(items) {
 		workers = len(items)
@@ -201,19 +228,22 @@ func (e *Engine) evalRound(items []workItem, workers int) [][]Sym {
 				if i >= len(items) {
 					return
 				}
-				outs[i] = e.evalItem(&items[i], sc, nil)
+				runItem(i, sc)
 			}
 		}()
 	}
 	wg.Wait()
-	return outs
+	return outs, provs
 }
 
 // mergeRound inserts the emitted tuples into their head relations in
 // item order, sharding the work by head relation (each relation has a
 // single writer, so index and table maintenance stay race-free).
-// Returns the number of new tuples.
-func (e *Engine) mergeRound(items []workItem, outs [][]Sym, workers int) int {
+// Returns the number of new tuples. In provenance mode the aligned cell
+// buffers annotate each newly inserted row with the rule and premises
+// that first derived it — "first" is deterministic because shard item
+// order is fixed regardless of worker count.
+func (e *Engine) mergeRound(items []workItem, outs [][]Sym, provs [][]provCell, workers int) int {
 	type shard struct {
 		rel   *Relation
 		items []int
@@ -238,16 +268,33 @@ func (e *Engine) mergeRound(items []workItem, outs [][]Sym, workers int) int {
 		arity := s.rel.arity
 		for _, i := range s.items {
 			buf := outs[i]
+			itemNew := 0
+			var cells []provCell
+			if provs != nil {
+				cells = provs[i]
+			}
 			if arity == 0 {
 				if s.rel.insert(nil) {
-					derived++
+					itemNew++
+					if len(cells) > 0 {
+						s.rel.prov[0] = cells[0]
+					}
 				}
-				continue
+			} else {
+				k := 0
+				for off := 0; off+arity <= len(buf); off += arity {
+					if s.rel.insert(buf[off : off+arity]) {
+						itemNew++
+						if cells != nil {
+							s.rel.prov[s.rel.rows-1] = cells[k]
+						}
+					}
+					k++
+				}
 			}
-			for off := 0; off+arity <= len(buf); off += arity {
-				if s.rel.insert(buf[off : off+arity]) {
-					derived++
-				}
+			if itemNew > 0 {
+				atomic.AddInt64(&e.ruleDerived[items[i].cr.idx], int64(itemNew))
+				derived += itemNew
 			}
 		}
 		return derived

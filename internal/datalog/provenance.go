@@ -1,0 +1,392 @@
+package datalog
+
+import (
+	"fmt"
+	"time"
+)
+
+// Provenance: opt-in derivation recording. When enabled, every tuple
+// carries a provCell naming the compiled rule that first produced it
+// and the packed (relation, row) IDs of that derivation's body
+// premises; base facts carry a sentinel. Engine.Why walks the cells
+// into a bounded derivation tree.
+//
+// The recording path is a separate copy of the join code (evalItemProv
+// and friends) so the default evaluation stays byte-identical when
+// provenance is off. Premise rows are always rows visible at round
+// start — inserted strictly before the derived tuple — so the
+// provenance graph is acyclic by construction, and because mergeRound
+// resolves "first derivation" in deterministic item order, the
+// recorded trees are identical for any worker count.
+
+// baseFact marks a tuple asserted directly rather than derived.
+const baseFact = int32(-1)
+
+// provCell records how one tuple entered its relation.
+type provCell struct {
+	rule     int32 // index into Engine.compiled; baseFact for asserted tuples
+	premises []int64
+}
+
+// packTID packs a (relation id, row id) pair into one premise ID.
+func packTID(relID, row int) int64 { return int64(relID)<<32 | int64(uint32(row)) }
+
+func unpackTID(id int64) (relID, row int) { return int(id >> 32), int(uint32(id)) }
+
+// EnableProvenance switches the engine into provenance-recording mode.
+// Tuples already present (asserted or derived by an earlier Run) are
+// backfilled as base facts; call it before asserting facts and running
+// rules to get full derivation trees. Enabling is one-way and costs
+// one cell per tuple plus a premise slice per derived tuple.
+func (e *Engine) EnableProvenance() {
+	if e.provOn {
+		return
+	}
+	e.provOn = true
+	for _, r := range e.relList {
+		r.provOn = true
+		for len(r.prov) < r.rows {
+			r.prov = append(r.prov, provCell{rule: baseFact})
+		}
+	}
+}
+
+// ProvenanceEnabled reports whether EnableProvenance was called.
+func (e *Engine) ProvenanceEnabled() bool { return e.provOn }
+
+// Derivation is one node of a derivation tree: a tuple, the rule that
+// first derived it (empty for base facts), and the premises of that
+// derivation. Trees are bounded in depth and node count; a node whose
+// expansion was cut off is marked Truncated.
+type Derivation struct {
+	Rel       string        `json:"rel"`
+	Tuple     []string      `json:"tuple,omitempty"`
+	Rule      string        `json:"rule,omitempty"`
+	Premises  []*Derivation `json:"premises,omitempty"`
+	Truncated bool          `json:"truncated,omitempty"`
+}
+
+// IsBase reports whether the node is an asserted fact.
+func (d *Derivation) IsBase() bool { return d.Rule == "" }
+
+// Leaves returns the base-fact leaves of the tree in visit order.
+func (d *Derivation) Leaves() []*Derivation {
+	var out []*Derivation
+	var walk func(n *Derivation)
+	walk = func(n *Derivation) {
+		if n.IsBase() {
+			out = append(out, n)
+			return
+		}
+		for _, p := range n.Premises {
+			walk(p)
+		}
+	}
+	walk(d)
+	return out
+}
+
+// whyMaxDepth / whyMaxNodes bound Why's derivation trees: transitive
+// rules can have derivation chains as long as the database, and a
+// human-readable explanation only needs the first few layers.
+const (
+	whyMaxDepth = 12
+	whyMaxNodes = 512
+)
+
+// Why returns the bounded derivation tree of the given tuple, or nil
+// when provenance is off or the tuple is not in the database.
+func (e *Engine) Why(rel string, terms ...Sym) *Derivation {
+	if !e.provOn {
+		return nil
+	}
+	r, ok := e.rels[rel]
+	if !ok || len(terms) != r.arity {
+		return nil
+	}
+	row := r.lookup(terms)
+	if row < 0 {
+		return nil
+	}
+	budget := whyMaxNodes
+	return e.explain(r, row, whyMaxDepth, &budget)
+}
+
+func (e *Engine) explain(r *Relation, row, depth int, budget *int) *Derivation {
+	*budget--
+	d := &Derivation{Rel: r.name}
+	t := r.row(row)
+	d.Tuple = make([]string, len(t))
+	for i, s := range t {
+		d.Tuple[i] = e.SymName(s)
+	}
+	if row >= len(r.prov) {
+		return d // pre-provenance row: nothing recorded, treat as base
+	}
+	c := r.prov[row]
+	if c.rule == baseFact {
+		return d
+	}
+	if int(c.rule) < len(e.compiled) {
+		d.Rule = e.compiled[c.rule].src
+	} else {
+		d.Rule = fmt.Sprintf("rule(%d)", c.rule)
+	}
+	if depth <= 0 {
+		d.Truncated = true
+		return d
+	}
+	for _, p := range c.premises {
+		if *budget <= 0 {
+			d.Truncated = true
+			break
+		}
+		relID, prow := unpackTID(p)
+		if relID < 0 || relID >= len(e.relList) {
+			continue
+		}
+		pr := e.relList[relID]
+		if prow >= pr.rows {
+			continue
+		}
+		d.Premises = append(d.Premises, e.explain(pr, prow, depth-1, budget))
+	}
+	return d
+}
+
+// lookup returns the row ID of the exact tuple, or -1.
+func (r *Relation) lookup(t []Sym) int {
+	if r.arity == 0 {
+		if r.rows > 0 {
+			return 0
+		}
+		return -1
+	}
+	if len(r.table) == 0 {
+		return -1
+	}
+	i := uint32(hashTuple(t)) & r.mask
+	for {
+		id := r.table[i]
+		if id == 0 {
+			return -1
+		}
+		if r.equalRow(int(id-1), t) {
+			return int(id - 1)
+		}
+		i = (i + 1) & r.mask
+	}
+}
+
+// RuleStat is one rule's cumulative evaluation cost across every Run
+// of the engine.
+type RuleStat struct {
+	Rule    string        // rule source text
+	Head    string        // head relation name
+	Derived int           // new tuples this rule inserted
+	Rounds  int           // semi-naive rounds the rule had work in
+	Time    time.Duration // wall time spent evaluating its work items
+}
+
+// RuleStats returns per-rule evaluation stats in rule-definition order.
+// Available whether or not provenance is enabled.
+func (e *Engine) RuleStats() []RuleStat {
+	out := make([]RuleStat, 0, len(e.compiled))
+	for i, cr := range e.compiled {
+		out = append(out, RuleStat{
+			Rule:    cr.src,
+			Head:    cr.headRel.name,
+			Derived: int(e.ruleDerived[i]),
+			Rounds:  int(e.ruleRounds[i]),
+			Time:    time.Duration(e.ruleNanos[i]),
+		})
+	}
+	return out
+}
+
+// evalItemProv mirrors evalItem, threading the premise stack so every
+// emitted head tuple gets an aligned provCell.
+func (e *Engine) evalItemProv(it *workItem, sc *scratch, out []Sym, cells []provCell) ([]Sym, []provCell) {
+	cr, p := it.cr, it.plan
+	env := sc.env
+	d := &p.delta
+	var boundSlots [maxArity]int
+	for rowID := it.lo; rowID < it.hi; rowID++ {
+		t := d.rel.row(rowID)
+		nb := 0
+		ok := true
+		for ci := range d.terms {
+			ct := &d.terms[ci]
+			v := t[ci]
+			switch {
+			case ct.isConst:
+				if ct.val != v {
+					ok = false
+				}
+			case ct.slot >= 0:
+				if env[ct.slot] == unboundSym {
+					env[ct.slot] = v
+					boundSlots[nb] = ct.slot
+					nb++
+				} else if env[ct.slot] != v {
+					ok = false
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			sc.prem = append(sc.prem[:0], packTID(d.rel.id, rowID))
+			out, cells = e.joinBodyProv(cr, p, 0, env, out, cells, sc)
+		}
+		for i := 0; i < nb; i++ {
+			env[boundSlots[i]] = unboundSym
+		}
+	}
+	return out, cells
+}
+
+// joinBodyProv mirrors joinBody, pushing each matched positive
+// literal's tuple ID onto the premise stack.
+func (e *Engine) joinBodyProv(cr *crule, p *cplan, i int, env []Sym, out []Sym, cells []provCell, sc *scratch) ([]Sym, []provCell) {
+	if i == len(p.body) {
+		return emitHeadProv(cr, env, out, cells, sc.prem)
+	}
+	l := &p.body[i]
+	switch l.builtin {
+	case BuiltinNeq:
+		a, b := termVal(&l.terms[0], env), termVal(&l.terms[1], env)
+		if a != b {
+			out, cells = e.joinBodyProv(cr, p, i+1, env, out, cells, sc)
+		}
+		return out, cells
+	case BuiltinEq:
+		ta, tb := &l.terms[0], &l.terms[1]
+		av, abound := termBound(ta, env)
+		bv, bbound := termBound(tb, env)
+		switch {
+		case abound && bbound:
+			if av == bv {
+				out, cells = e.joinBodyProv(cr, p, i+1, env, out, cells, sc)
+			}
+		case abound:
+			if tb.slot < 0 {
+				return e.joinBodyProv(cr, p, i+1, env, out, cells, sc)
+			}
+			env[tb.slot] = av
+			out, cells = e.joinBodyProv(cr, p, i+1, env, out, cells, sc)
+			env[tb.slot] = unboundSym
+		case bbound:
+			if ta.slot < 0 {
+				return e.joinBodyProv(cr, p, i+1, env, out, cells, sc)
+			}
+			env[ta.slot] = bv
+			out, cells = e.joinBodyProv(cr, p, i+1, env, out, cells, sc)
+			env[ta.slot] = unboundSym
+		}
+		return out, cells
+	}
+	r := l.rel
+	if r.arity == 0 {
+		if r.rows > 0 {
+			sc.prem = append(sc.prem, packTID(r.id, 0))
+			out, cells = e.joinBodyProv(cr, p, i+1, env, out, cells, sc)
+			sc.prem = sc.prem[:len(sc.prem)-1]
+		}
+		return out, cells
+	}
+	if l.lookupCol >= 0 {
+		kt := &l.terms[l.lookupCol]
+		key := kt.val
+		if !kt.isConst {
+			key = env[kt.slot]
+		}
+		for _, id := range r.index[l.lookupCol][key] {
+			out, cells = e.joinRowProv(cr, p, i, l, int(id), env, out, cells, sc)
+		}
+		return out, cells
+	}
+	for id := 0; id < r.rows; id++ {
+		out, cells = e.joinRowProv(cr, p, i, l, id, env, out, cells, sc)
+	}
+	return out, cells
+}
+
+// joinRowProv mirrors joinRow with the candidate row passed by ID so
+// its tuple ID can join the premise stack.
+func (e *Engine) joinRowProv(cr *crule, p *cplan, i int, l *clit, rowID int, env []Sym, out []Sym, cells []provCell, sc *scratch) ([]Sym, []provCell) {
+	t := l.rel.row(rowID)
+	var boundSlots [maxArity]int
+	nb := 0
+	ok := true
+	for ci := range l.terms {
+		ct := &l.terms[ci]
+		v := t[ci]
+		switch {
+		case ct.isConst:
+			if ct.val != v {
+				ok = false
+			}
+		case ct.slot >= 0:
+			if env[ct.slot] == unboundSym {
+				env[ct.slot] = v
+				boundSlots[nb] = ct.slot
+				nb++
+			} else if env[ct.slot] != v {
+				ok = false
+			}
+		}
+		if !ok {
+			break
+		}
+	}
+	if ok {
+		sc.prem = append(sc.prem, packTID(l.rel.id, rowID))
+		out, cells = e.joinBodyProv(cr, p, i+1, env, out, cells, sc)
+		sc.prem = sc.prem[:len(sc.prem)-1]
+	}
+	for k := 0; k < nb; k++ {
+		env[boundSlots[k]] = unboundSym
+	}
+	return out, cells
+}
+
+// emitHeadProv mirrors emitHead: the immediate-duplicate skip drops
+// the tuple and its cell together, keeping the buffers aligned. The
+// final database is identical to the provenance-off run because the
+// merge deduplicates anyway.
+func emitHeadProv(cr *crule, env []Sym, out []Sym, cells []provCell, prem []int64) ([]Sym, []provCell) {
+	ha := len(cr.head)
+	if ha == 0 {
+		if len(out) == 0 {
+			out = append(out, 0)
+			cells = append(cells, provCell{rule: int32(cr.idx), premises: append([]int64(nil), prem...)})
+		}
+		return out, cells
+	}
+	var tup [maxArity]Sym
+	for hi := range cr.head {
+		ct := &cr.head[hi]
+		if ct.isConst {
+			tup[hi] = ct.val
+		} else {
+			tup[hi] = env[ct.slot]
+		}
+	}
+	if n := len(out); n >= ha {
+		same := true
+		for k := 0; k < ha; k++ {
+			if out[n-ha+k] != tup[k] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return out, cells
+		}
+	}
+	out = append(out, tup[:ha]...)
+	cells = append(cells, provCell{rule: int32(cr.idx), premises: append([]int64(nil), prem...)})
+	return out, cells
+}

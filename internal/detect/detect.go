@@ -114,6 +114,10 @@ type Options struct {
 	// Workers bounds the escape analysis and Datalog worker pools
 	// (0 = GOMAXPROCS). Results are identical for any setting.
 	Workers int
+	// Provenance switches the shared Datalog engine into derivation
+	// recording mode before the fact base is loaded, so every derived
+	// tuple can later be explained via Engine.Why.
+	Provenance bool
 }
 
 // BuildContext computes the shared analysis state for one app: access
@@ -138,6 +142,9 @@ func BuildContext(ctx context.Context, app string, m *threadify.Model, opts Opti
 	_, span = obs.Start(ctx, "detect.facts")
 	e := datalog.NewEngine()
 	e.SetWorkers(opts.Workers)
+	if opts.Provenance {
+		e.EnableProvenance()
+	}
 	race.PopulateFacts(e, accesses, esc, race.Options{UseFreeOnly: true, Workers: opts.Workers})
 	emitAsyncFacts(e, m)
 	span.SetAttr("facts", e.Stats().Facts)

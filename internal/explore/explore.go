@@ -269,6 +269,32 @@ func ValidateAll(pkg *apk.Package, model *threadify.Model, warnings []*uaf.Warni
 // assembled in input order, so the confirmed subset matches the
 // sequential sweep exactly.
 func ValidateAllContext(ctx context.Context, pkg *apk.Package, model *threadify.Model, warnings []*uaf.Warning, opts Options) ([]*uaf.Warning, error) {
+	vs, err := ValidateAllDetailed(ctx, pkg, model, warnings, opts)
+	var out []*uaf.Warning
+	for _, v := range vs {
+		if v.Harmful {
+			out = append(out, v.Warning)
+		}
+	}
+	return out, err
+}
+
+// Validation is one warning's dynamic-validation outcome: whether a
+// harmful schedule was found, and the witness itself when one was —
+// the exploration half of the warning's evidence record.
+type Validation struct {
+	Warning *uaf.Warning
+	// Harmful reports whether some schedule dereferenced the null loaded
+	// at the warning's use site.
+	Harmful bool
+	// Witness is the confirming schedule (nil unless Harmful).
+	Witness *Witness
+}
+
+// ValidateAllDetailed is ValidateAllContext keeping the per-warning
+// witnesses instead of discarding them. Results are in input order and
+// cover every warning validated before cancellation.
+func ValidateAllDetailed(ctx context.Context, pkg *apk.Package, model *threadify.Model, warnings []*uaf.Warning, opts Options) ([]Validation, error) {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -324,14 +350,14 @@ func ValidateAllContext(ctx context.Context, pkg *apk.Package, model *threadify.
 		wg.Wait()
 	}
 
-	var out []*uaf.Warning
+	var out []Validation
 	for i, w := range warnings {
 		r := results[i]
 		if r.err != nil {
 			return out, r.err
 		}
+		out = append(out, Validation{Warning: w, Harmful: r.ok, Witness: r.wit})
 		if r.ok {
-			out = append(out, w)
 			obs.Logger(ctx).Info("warning validated harmful",
 				"field", w.Field.String(), "use", w.Use.String(), "free", w.Free.String(),
 				"executions", r.wit.Executions)

@@ -240,6 +240,82 @@ func ByName(names []string) ([]Filter, error) {
 	return out, nil
 }
 
+// Verdict is one filter's outcome on one warning: what it examined and
+// what it decided, with a human-readable reason. A sequence of verdicts
+// is the warning's filter trail — the §6 half of its evidence record.
+type Verdict struct {
+	// Filter is the filter name (MHB, IG, …).
+	Filter string `json:"filter"`
+	// Sound distinguishes §6.1 sound filters from §6.2 unsound ones.
+	Sound bool `json:"sound"`
+	// Kept reports whether the warning was still alive after the filter.
+	Kept bool `json:"kept"`
+	// PairsBefore / PairsRemoved count the warning's thread pairs going
+	// in and how many this filter pruned.
+	PairsBefore  int `json:"pairs_before"`
+	PairsRemoved int `json:"pairs_removed,omitempty"`
+	// Reason states the filter's criterion and whether it matched.
+	Reason string `json:"reason"`
+}
+
+// filterCriterion states what each standard filter looks for, phrased
+// so "matched: …" / "no pair matched: …" both read naturally.
+var filterCriterion = map[string]string{
+	NameMHB: "use must-happen-before free in the Android lifecycle MHB graph",
+	NameIG:  "use is null-guarded and the guarded block is atomic with the free",
+	NameIA:  "a dominating store of a fresh allocation precedes the use atomically",
+	NameRHB: "onResume re-allocates the field after the onPause-path free",
+	NameCHB: "a cancellation API stops the racing callback family first",
+	NamePHB: "the use's callback transitively posted the free's callback on the same looper",
+	NameMA:  "the loaded value comes from a getter treated as an allocation",
+	NameUR:  "the loaded value is never dereferenced (only returned, compared, or passed on)",
+	NameTT:  "both sides run on native threads (deprioritized, not dismissed)",
+}
+
+// Trail collects per-warning filter verdicts, keyed by uaf.Warning.Key.
+// Safe for the filter pipeline's concurrent warning fan-out; verdicts
+// land in pipeline order because filters run strictly one at a time.
+type Trail struct {
+	mu    sync.Mutex
+	byKey map[string][]Verdict
+}
+
+// NewTrail returns an empty trail.
+func NewTrail() *Trail { return &Trail{byKey: make(map[string][]Verdict)} }
+
+// record appends one filter's verdict on one warning.
+func (t *Trail) record(w *uaf.Warning, f Filter, before, removed int) {
+	crit, ok := filterCriterion[f.Name()]
+	if !ok {
+		crit = "filter criterion"
+	}
+	v := Verdict{
+		Filter:       f.Name(),
+		Sound:        f.Sound(),
+		Kept:         w.Alive(),
+		PairsBefore:  before,
+		PairsRemoved: removed,
+	}
+	switch {
+	case removed == 0:
+		v.Reason = "no pair matched: " + crit
+	case v.Kept:
+		v.Reason = fmt.Sprintf("matched %d of %d pair(s): %s", removed, before, crit)
+	default:
+		v.Reason = "matched every pair: " + crit
+	}
+	t.mu.Lock()
+	t.byKey[w.Key()] = append(t.byKey[w.Key()], v)
+	t.mu.Unlock()
+}
+
+// For returns the verdict sequence recorded for a warning key.
+func (t *Trail) For(key string) []Verdict {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.byKey[key]
+}
+
 // Stats reports the outcome of a pipeline run.
 type Stats struct {
 	// Potential is the warning count before filtering.
@@ -268,6 +344,10 @@ type RunConfig struct {
 	// MHB, when non-nil, is a prebuilt must-happen-before graph reused
 	// from the shared detector context; nil rebuilds it from the model.
 	MHB *hb.Graph
+	// Trail, when non-nil, records every filter's verdict on every
+	// warning it examined. Off by default: the record costs one entry
+	// per (warning, filter) and is only wanted for evidence assembly.
+	Trail *Trail
 }
 
 // Run applies the sound filters then the unsound filters in sequence,
@@ -302,7 +382,7 @@ func RunWith(octx context.Context, d *uaf.Detection, cfg RunConfig) *Stats {
 				}
 			}
 			examined := len(alive)
-			pairsRemoved, killed := applyOne(ctx, f, alive, workers)
+			pairsRemoved, killed := applyOne(ctx, f, alive, workers, cfg.Trail)
 			if killed > 0 {
 				st.Removed[f.Name()] += killed
 			}
@@ -331,13 +411,21 @@ func RunWith(octx context.Context, d *uaf.Detection, cfg RunConfig) *Stats {
 // a bounded worker pool. Warnings are disjoint, so each is mutated by
 // exactly one goroutine; the aggregate counters are order-independent,
 // making the outcome identical to the sequential pass.
-func applyOne(ctx *Context, f Filter, alive []*uaf.Warning, workers int) (pairsRemoved, killed int) {
+func applyOne(ctx *Context, f Filter, alive []*uaf.Warning, workers int, trail *Trail) (pairsRemoved, killed int) {
 	if workers > len(alive) {
 		workers = len(alive)
 	}
+	applyTo := func(w *uaf.Warning) int {
+		before := len(w.Pairs)
+		removed := f.Apply(ctx, w)
+		if trail != nil {
+			trail.record(w, f, before, removed)
+		}
+		return removed
+	}
 	if workers <= 1 {
 		for _, w := range alive {
-			pairsRemoved += f.Apply(ctx, w)
+			pairsRemoved += applyTo(w)
 			if !w.Alive() {
 				killed++
 			}
@@ -357,7 +445,7 @@ func applyOne(ctx *Context, f Filter, alive []*uaf.Warning, workers int) (pairsR
 					break
 				}
 				w := alive[j]
-				pairs += f.Apply(ctx, w)
+				pairs += applyTo(w)
 				if !w.Alive() {
 					dead++
 				}

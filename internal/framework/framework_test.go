@@ -17,6 +17,9 @@ func hierarchyFixture(t *testing.T) *cha.Hierarchy {
 	b.HandlerClass("fw/H")
 	b.AsyncTaskClass("fw/Task")
 	b.ThreadClass("fw/Thr")
+	// A second-level Thread subclass: teardown/cancel classification must
+	// see through the full super chain, not just the direct parent.
+	b.Class("fw/Thr2", "fw/Thr")
 	b.Runnable("fw/Run")
 	b.Class("fw/Pool", framework.Object, framework.ExecutorService)
 	pkg, err := b.Build()
@@ -75,6 +78,83 @@ func TestClassifyCancel(t *testing.T) {
 	for _, c := range cases {
 		if got := framework.ClassifyCancel(h, c.recv, c.method); got != c.want {
 			t.Errorf("ClassifyCancel(%s, %s) = %v, want %v", c.recv, c.method, got, c.want)
+		}
+	}
+}
+
+// TestClassifyCancelEdgeCases pins down the overload pair and the
+// receiver-type gates: both Handler.removeCallbacks spellings cancel,
+// same-named methods on non-framework receivers never do, and the
+// receiver check walks the whole super chain.
+func TestClassifyCancelEdgeCases(t *testing.T) {
+	h := hierarchyFixture(t)
+	cases := []struct {
+		recv, method string
+		want         framework.CancelKind
+	}{
+		// Handler.removeCallbacks / removeCallbacksAndMessages are an
+		// overload pair: both drop pending posts.
+		{"fw/H", "removeCallbacks", framework.CancelRemoveCallbacks},
+		{framework.Handler, "removeCallbacks", framework.CancelRemoveCallbacks},
+		{framework.Handler, "removeCallbacksAndMessages", framework.CancelRemoveCallbacks},
+		// The method name alone is not enough — the receiver must be the
+		// right framework type.
+		{"fw/Act", "removeCallbacks", framework.CancelNone},
+		{"fw/H", "cancel", framework.CancelNone},
+		{framework.Timer, "cancel", framework.CancelNone},
+		{"fw/Thr", "cancel", framework.CancelNone},
+		{"fw/H", "unregisterReceiver", framework.CancelNone},
+		{"fw/Run", "finish", framework.CancelNone},
+		// Activities are Contexts: the Context-gated cancels apply.
+		{"fw/Act", "unbindService", framework.CancelUnbindService},
+		// cancel on a deep AsyncTask chain would classify; an unrelated
+		// deep chain (Thread sub-subclass) must not.
+		{"fw/Thr2", "cancel", framework.CancelNone},
+		// Unknown receivers classify as nothing rather than panicking.
+		{"fw/Nope", "finish", framework.CancelNone},
+	}
+	for _, c := range cases {
+		if got := framework.ClassifyCancel(h, c.recv, c.method); got != c.want {
+			t.Errorf("ClassifyCancel(%s, %s) = %v, want %v", c.recv, c.method, got, c.want)
+		}
+	}
+}
+
+// TestClassifyThreadControl covers the leaked-thread teardown evidence:
+// join/interrupt classify only on Thread subtypes — including aliased
+// receivers typed as a deeper subclass or as the framework root — and
+// lookalike methods on non-thread receivers classify as none.
+func TestClassifyThreadControl(t *testing.T) {
+	h := hierarchyFixture(t)
+	cases := []struct {
+		recv, method string
+		want         framework.ThreadControlKind
+	}{
+		{framework.Thread, "join", framework.ThreadControlJoin},
+		{framework.Thread, "interrupt", framework.ThreadControlInterrupt},
+		{"fw/Thr", "join", framework.ThreadControlJoin},
+		{"fw/Thr", "interrupt", framework.ThreadControlInterrupt},
+		// The receiver's static type may be a deeper subclass (an aliased
+		// receiver after threadification); the super chain still reaches
+		// Thread.
+		{"fw/Thr2", "join", framework.ThreadControlJoin},
+		{"fw/Thr2", "interrupt", framework.ThreadControlInterrupt},
+		// Non-framework lookalikes: a Runnable is not a Thread, an
+		// Activity is not a Thread, and HandlerThread-ish method names on
+		// the wrong receiver stay unclassified.
+		{"fw/Run", "join", framework.ThreadControlNone},
+		{"fw/Run", "interrupt", framework.ThreadControlNone},
+		{"fw/Act", "interrupt", framework.ThreadControlNone},
+		{"fw/Task", "join", framework.ThreadControlNone},
+		{"fw/Pool", "join", framework.ThreadControlNone},
+		// Other Thread methods are not teardown evidence.
+		{"fw/Thr", "start", framework.ThreadControlNone},
+		{"fw/Thr", "run", framework.ThreadControlNone},
+		{"fw/Nope", "join", framework.ThreadControlNone},
+	}
+	for _, c := range cases {
+		if got := framework.ClassifyThreadControl(h, c.recv, c.method); got != c.want {
+			t.Errorf("ClassifyThreadControl(%s, %s) = %v, want %v", c.recv, c.method, got, c.want)
 		}
 	}
 }

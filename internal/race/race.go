@@ -288,6 +288,14 @@ func PairsFromEngine(ctx context.Context, e *datalog.Engine, accesses []Access, 
 	obs.Add(ctx, "datalog_derived", int64(st.Derived))
 	obs.Add(ctx, "datalog_iterations", int64(st.Iterations))
 	obs.Add(ctx, "datalog_workers", int64(st.Workers))
+	// Per-rule evaluation stats, labeled by head relation (rules sharing
+	// a head accumulate into one series). The server exposes these as
+	// the nadroid_datalog_rule_* metric families.
+	for _, rs := range e.RuleStats() {
+		obs.Add(ctx, fmt.Sprintf("datalog_rule_derived{rule=%q}", rs.Head), int64(rs.Derived))
+		obs.Add(ctx, fmt.Sprintf("datalog_rule_rounds{rule=%q}", rs.Head), int64(rs.Rounds))
+		obs.Add(ctx, fmt.Sprintf("datalog_rule_time_us{rule=%q}", rs.Head), rs.Time.Microseconds())
+	}
 
 	var pairs []Pair
 	for _, row := range e.Query("Racy", datalog.Wild, datalog.Wild) {

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 
+	"nadroid/internal/evidence"
 	"nadroid/internal/fingerprint"
 	"nadroid/internal/ir"
 	"nadroid/internal/threadify"
@@ -214,4 +215,51 @@ func (r *Report) CSV() string {
 			r.App, x.Subject, x.Site, "-", x.Detector+":"+x.Tag, x.Lineage, x.Detail, x.Fingerprint)
 	}
 	return b.String()
+}
+
+// CSVWithEvidence renders the report with a ninth "evidence" column
+// summarizing each warning's provenance record by fingerprint ("-"
+// when no record exists, e.g. provenance was off). CSV() keeps the
+// classic 8-column schema byte-for-byte; this is a separate schema for
+// provenance-mode exports.
+func (r *Report) CSVWithEvidence(ev map[string]*evidence.Evidence) string {
+	var b strings.Builder
+	b.WriteString("app,field,use,free,category,use_lineage,free_lineage,fingerprint,evidence\n")
+	for _, e := range r.Entries {
+		w := e.Warning
+		fmt.Fprintf(&b, "%s,%s,%s,%s,%s,%q,%q,%s,%s\n",
+			r.App, w.Field, w.Use, w.Free, e.Category, e.UseLineage, e.FreeLineage, e.Fingerprint,
+			evidenceSummary(ev[string(e.Fingerprint)]))
+	}
+	for _, x := range r.Extras {
+		fmt.Fprintf(&b, "%s,%s,%s,%s,%s,%q,%q,%s,%s\n",
+			r.App, x.Subject, x.Site, "-", x.Detector+":"+x.Tag, x.Lineage, x.Detail, x.Fingerprint,
+			evidenceSummary(ev[string(x.Fingerprint)]))
+	}
+	return b.String()
+}
+
+// evidenceSummary compresses a record into a cell: which evidence kinds
+// are present, and how many filter verdicts the trail holds.
+func evidenceSummary(e *evidence.Evidence) string {
+	if e == nil {
+		return "-"
+	}
+	var parts []string
+	if e.Derivation != nil {
+		parts = append(parts, "derivation")
+	}
+	if len(e.Aliasing) > 0 {
+		parts = append(parts, "aliasing")
+	}
+	if len(e.Filters) > 0 {
+		parts = append(parts, fmt.Sprintf("filters:%d", len(e.Filters)))
+	}
+	if e.Witness != nil {
+		parts = append(parts, "witness")
+	}
+	if len(parts) == 0 {
+		return "record"
+	}
+	return strings.Join(parts, "+")
 }

@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"nadroid/internal/corpus"
+	"nadroid/internal/datalog"
+	"nadroid/internal/evidence"
 	"nadroid/internal/filters"
 	"nadroid/internal/threadify"
 	"nadroid/internal/uaf"
@@ -105,6 +107,36 @@ func TestCSVShape(t *testing.T) {
 		if !strings.HasPrefix(line, "ConnectBot,") {
 			t.Errorf("row missing app column: %q", line)
 		}
+	}
+}
+
+// TestCSVWithEvidenceShape: the provenance-mode export is the classic
+// schema plus one summary column — "-" cells without records, kind
+// summaries with them — while CSV() itself is untouched.
+func TestCSVWithEvidenceShape(t *testing.T) {
+	_, d := connectBot(t)
+	rep := New("ConnectBot", d)
+
+	noEv := rep.CSVWithEvidence(nil)
+	lines := strings.Split(strings.TrimSpace(noEv), "\n")
+	if lines[0] != "app,field,use,free,category,use_lineage,free_lineage,fingerprint,evidence" {
+		t.Errorf("header = %q", lines[0])
+	}
+	for _, line := range lines[1:] {
+		if !strings.HasSuffix(line, ",-") {
+			t.Errorf("row without a record must end in the '-' cell: %q", line)
+		}
+	}
+
+	ev := map[string]*evidence.Evidence{
+		string(rep.Entries[0].Fingerprint): {
+			Derivation: &datalog.Derivation{Rel: "Racy"},
+			Filters:    []filters.Verdict{{Filter: "MHB"}},
+		},
+	}
+	withEv := strings.Split(strings.TrimSpace(rep.CSVWithEvidence(ev)), "\n")
+	if !strings.HasSuffix(withEv[1], ",derivation+filters:1") {
+		t.Errorf("row with a record = %q, want derivation+filters:1 cell", withEv[1])
 	}
 }
 

@@ -69,6 +69,10 @@ type Metrics struct {
 	// completed analysis (nadroid_detector_warnings_total{detector=…}).
 	detectors map[string]uint64
 
+	// queueWait measures enqueue -> worker pickup latency, the signal
+	// that the pool is undersized for the offered load.
+	queueWait histogram
+
 	phases map[string]*histogram
 	// pipeline accumulates the per-job obs counter snapshots. Keys are
 	// already metric-shaped (`name` or `name{label="v"}`) and are exported
@@ -134,6 +138,14 @@ func (m *Metrics) JobFinished(state string) {
 	default:
 		m.jobsFailed++
 	}
+}
+
+// ObserveQueueWait records how long one job sat in the queue before a
+// worker picked it up.
+func (m *Metrics) ObserveQueueWait(d time.Duration) {
+	m.mu.Lock()
+	m.queueWait.observe(d)
+	m.mu.Unlock()
 }
 
 // AddSuppressed counts warnings a baseline hid from a materialized
@@ -213,6 +225,17 @@ func (m *Metrics) Render(cache *Cache, st *store.Store) string {
 	fmt.Fprintf(&b, "nadroid_jobs_canceled_total %d\n", m.jobsCanceled)
 	fmt.Fprintf(&b, "nadroid_queue_depth %d\n", m.queueDepth)
 	fmt.Fprintf(&b, "nadroid_jobs_running %d\n", m.running)
+	if m.queueWait.total > 0 {
+		cum := uint64(0)
+		for i, bound := range histBounds {
+			cum += m.queueWait.counts[i]
+			fmt.Fprintf(&b, "nadroid_queue_wait_bucket{le=%q} %d\n", leLabel(bound), cum)
+		}
+		cum += m.queueWait.counts[len(histBounds)]
+		fmt.Fprintf(&b, "nadroid_queue_wait_bucket{le=\"+Inf\"} %d\n", cum)
+		fmt.Fprintf(&b, "nadroid_queue_wait_sum_ms %.3f\n", float64(m.queueWait.sum)/float64(time.Millisecond))
+		fmt.Fprintf(&b, "nadroid_queue_wait_count %d\n", m.queueWait.total)
+	}
 	fmt.Fprintf(&b, "nadroid_cache_hits_total %d\n", hits)
 	fmt.Fprintf(&b, "nadroid_cache_misses_total %d\n", misses)
 	fmt.Fprintf(&b, "nadroid_cache_entries %d\n", cache.Len())

@@ -48,6 +48,7 @@ func TestMetricsExposition(t *testing.T) {
 	}
 	buckets := map[string][]bucket{} // phase -> cumulative buckets in output order
 	counts := map[string]float64{}
+	var waitBuckets []bucket // nadroid_queue_wait_bucket in output order
 	seen := map[string]bool{}
 	vals := map[string]float64{} // last value per family (unlabeled families)
 	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
@@ -76,6 +77,8 @@ func TestMetricsExposition(t *testing.T) {
 			buckets[phase] = append(buckets[phase], bucket{le, val})
 		case "nadroid_phase_latency_count":
 			counts[labelValue(t, labels, "phase")] = val
+		case "nadroid_queue_wait_bucket":
+			waitBuckets = append(waitBuckets, bucket{labelValue(t, labels, "le"), val})
 		}
 	}
 
@@ -107,6 +110,32 @@ func TestMetricsExposition(t *testing.T) {
 		if !seen[name] {
 			t.Errorf("pipeline counter %s missing; exposition:\n%s", name, text)
 		}
+	}
+
+	// The queue gauge and wait histogram are live: exactly one job went
+	// through the pool, so the wait histogram counted it and the depth
+	// gauge is back to zero.
+	if depth, ok := vals["nadroid_queue_depth"]; !ok || depth != 0 {
+		t.Errorf("nadroid_queue_depth = %v (present=%v), want 0 after the sync analysis", depth, ok)
+	}
+	if len(waitBuckets) == 0 {
+		t.Fatal("no nadroid_queue_wait_bucket lines rendered")
+	}
+	if last := waitBuckets[len(waitBuckets)-1]; last.le != "+Inf" || last.val != 1 {
+		t.Errorf("queue wait +Inf bucket = %+v, want le=+Inf val=1", last)
+	}
+	prevWait := -1.0
+	for _, bk := range waitBuckets {
+		if bk.val < prevWait {
+			t.Errorf("queue wait buckets not cumulative (%v after %v)", bk.val, prevWait)
+		}
+		prevWait = bk.val
+	}
+	if vals["nadroid_queue_wait_count"] != 1 {
+		t.Errorf("nadroid_queue_wait_count = %v, want 1", vals["nadroid_queue_wait_count"])
+	}
+	if _, ok := vals["nadroid_queue_wait_sum_ms"]; !ok {
+		t.Error("nadroid_queue_wait_sum_ms missing")
 	}
 
 	if len(buckets) == 0 {
@@ -267,6 +296,63 @@ func TestJobTraceEndpoint(t *testing.T) {
 	resp, _ = getBody(t, fmt.Sprintf("%s/v1/jobs/%s/bogus", ts.URL, jw.ID))
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("bogus subresource status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestSpanBudgetDropped forces a tiny per-job span budget and checks the
+// loss is visible on both surfaces: the trace response's "dropped" field
+// and the nadroid_pipeline_spans_dropped counter in /metrics.
+func TestSpanBudgetDropped(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, SpanLimit: 3})
+
+	resp, data := postJSON(t, ts.URL+"/v1/analyze?async=true", map[string]string{"app": "ConnectBot"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit status = %d: %s", resp.StatusCode, data)
+	}
+	var jw JobWire
+	if err := json.Unmarshal(data, &jw); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for jw.State != StateDone {
+		if jw.State == StateFailed || jw.State == StateCanceled {
+			t.Fatalf("job ended %s: %s", jw.State, jw.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job still %s after 30s", jw.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+		_, data = getBody(t, fmt.Sprintf("%s/v1/jobs/%s", ts.URL, jw.ID))
+		if err := json.Unmarshal(data, &jw); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	_, data = getBody(t, fmt.Sprintf("%s/v1/jobs/%s/trace", ts.URL, jw.ID))
+	var tw struct {
+		Spans   int `json:"spans"`
+		Dropped int `json:"dropped"`
+	}
+	if err := json.Unmarshal(data, &tw); err != nil {
+		t.Fatalf("trace body not JSON: %v\n%s", err, data)
+	}
+	if tw.Spans != 3 || tw.Dropped == 0 {
+		t.Errorf("trace = %+v, want exactly 3 spans kept and a nonzero dropped count", tw)
+	}
+
+	_, data = getBody(t, ts.URL+"/metrics")
+	line := ""
+	for _, l := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(l, "nadroid_pipeline_spans_dropped ") {
+			line = l
+		}
+	}
+	if line == "" {
+		t.Fatalf("nadroid_pipeline_spans_dropped missing from /metrics")
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(line, "nadroid_pipeline_spans_dropped "))
+	if err != nil || n != tw.Dropped {
+		t.Errorf("spans_dropped counter = %q, want %d (the trace's dropped count)", line, tw.Dropped)
 	}
 }
 

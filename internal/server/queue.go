@@ -39,6 +39,9 @@ type Job struct {
 
 	run     func(ctx context.Context) (*ResultWire, error)
 	timeout time.Duration
+	// enqueuedAt stamps Submit time; the queue-wait histogram measures
+	// enqueue -> worker pickup.
+	enqueuedAt time.Time
 
 	mu       sync.Mutex
 	state    string
@@ -109,6 +112,10 @@ type Pool struct {
 	logger  *slog.Logger
 	queue   chan *Job
 	wg      sync.WaitGroup
+	// spanLimit overrides each job tracer's span budget when positive.
+	// Set before the first Submit (the queue channel publishes it to
+	// workers).
+	spanLimit int
 
 	mu      sync.Mutex
 	jobs    map[string]*Job
@@ -159,12 +166,13 @@ func (p *Pool) Submit(app string, timeout time.Duration, run func(ctx context.Co
 	}
 	p.nextID++
 	j := &Job{
-		ID:      fmt.Sprintf("job-%08d", p.nextID),
-		App:     app,
-		run:     run,
-		timeout: timeout,
-		state:   StateQueued,
-		done:    make(chan struct{}),
+		ID:         fmt.Sprintf("job-%08d", p.nextID),
+		App:        app,
+		run:        run,
+		timeout:    timeout,
+		enqueuedAt: time.Now(),
+		state:      StateQueued,
+		done:       make(chan struct{}),
 	}
 	p.jobs[j.ID] = j
 	p.mu.Unlock()
@@ -197,6 +205,7 @@ func (p *Pool) worker() {
 }
 
 func (p *Pool) runJob(j *Job) {
+	p.metrics.ObserveQueueWait(time.Since(j.enqueuedAt))
 	j.mu.Lock()
 	if j.state != StateQueued {
 		// Canceled while waiting in the queue; its metrics slot still
@@ -214,6 +223,9 @@ func (p *Pool) runJob(j *Job) {
 	// stamped with the job/app identity, all carried down the pipeline
 	// through the context.
 	tracer := obs.NewTracer()
+	if p.spanLimit > 0 {
+		tracer.SetLimit(p.spanLimit)
+	}
 	pipeline := obs.NewMetrics()
 	logger := p.logger.With("job", j.ID, "app", j.App)
 	ctx = obs.WithTracer(ctx, tracer)
@@ -247,6 +259,12 @@ func (p *Pool) runJob(j *Job) {
 	close(j.done)
 	j.mu.Unlock()
 	p.metrics.JobFinished(state)
+	// A job whose span tree hit the tracer budget silently loses its
+	// tail; surface the loss as a counter so truncated traces are
+	// discoverable from /metrics, not just the per-job trace response.
+	if n := tracer.Dropped(); n > 0 {
+		pipeline.Add("spans_dropped", int64(n))
+	}
 	p.metrics.MergePipeline(pipeline.Snapshot())
 	if err != nil {
 		logger.Warn("job finished", "state", state, "ms", time.Since(started).Milliseconds(), "error", err)

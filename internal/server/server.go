@@ -15,6 +15,9 @@
 //	GET    /v1/apps                corpus listing
 //	GET    /v1/apps/{app}/runs     stored analysis history (requires Config.Store)
 //	GET    /v1/apps/{app}/diff     delta between two runs (?from=&to=, default latest pair)
+//	GET    /v1/apps/{app}/warnings/{fp}/explain
+//	                               provenance record of one warning (?format=text renders
+//	                               the human tree; fp may be a unique prefix)
 //	GET    /healthz                liveness + build info JSON
 //	GET    /metrics                plain-text counters, histograms, pipeline families
 //	GET    /debug/pprof/*          Go profiler (only with Config.EnablePprof)
@@ -43,6 +46,7 @@ import (
 	"nadroid/internal/buildinfo"
 	"nadroid/internal/corpus"
 	"nadroid/internal/dexasm"
+	"nadroid/internal/evidence"
 	"nadroid/internal/obs"
 	"nadroid/internal/store"
 )
@@ -66,6 +70,11 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxDexasmBytes bounds the request body (default 8 MiB).
 	MaxDexasmBytes int64
+	// SpanLimit bounds each job's trace to this many spans (0 =
+	// obs.DefaultSpanLimit). Spans past the budget are counted rather
+	// than recorded: the trace response reports them as "dropped" and
+	// /metrics grows nadroid_pipeline_spans_dropped.
+	SpanLimit int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
 	// default: the profiler exposes stack traces and should not face
 	// untrusted traffic.
@@ -122,6 +131,7 @@ func New(cfg Config) *Server {
 	}
 	s.warmStart()
 	s.pool = NewPool(cfg.Workers, cfg.QueueDepth, s.metrics)
+	s.pool.spanLimit = cfg.SpanLimit
 	if cfg.Logger != nil {
 		s.pool.SetLogger(cfg.Logger)
 	}
@@ -393,6 +403,17 @@ func (s *Server) handleAppHistory(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "no store configured (start nadroid-serve with -store-dir)")
 		return
 	}
+	if view == "explain" {
+		// /v1/apps/{app}/warnings/{fp}/explain — the app name may contain
+		// slashes, so split on the /warnings/ marker, not positionally.
+		mark := strings.LastIndex(app, "/warnings/")
+		if mark <= 0 {
+			writeError(w, http.StatusNotFound, "want /v1/apps/{app}/warnings/{fingerprint}/explain")
+			return
+		}
+		s.handleExplain(w, r, app[:mark], app[mark+len("/warnings/"):])
+		return
+	}
 	switch view {
 	case "runs":
 		runs := s.store.Runs(app)
@@ -419,6 +440,34 @@ func (s *Server) handleAppHistory(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusNotFound, "unknown view %q (want runs or diff)", view)
 	}
+}
+
+// handleExplain serves one warning's provenance record from the newest
+// stored run that carries evidence for the fingerprint (or a unique
+// prefix of it). Evidence exists only for runs analyzed with
+// "provenance": true.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, app, fp string) {
+	raw, runID, ok := s.store.EvidenceFor(app, fp)
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			"no evidence for warning %q in app %q (analyze with \"provenance\": true, or the prefix is ambiguous)", fp, app)
+		return
+	}
+	var ev evidence.Evidence
+	if err := json.Unmarshal(raw, &ev); err != nil {
+		writeError(w, http.StatusInternalServerError, "stored evidence unreadable: %v", err)
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, ev.Render())
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		App      string             `json:"app"`
+		Run      string             `json:"run"`
+		Evidence *evidence.Evidence `json:"evidence"`
+	}{App: app, Run: runID, Evidence: &ev})
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {

@@ -13,6 +13,7 @@ import (
 
 	"nadroid"
 	"nadroid/internal/detect"
+	"nadroid/internal/evidence"
 	"nadroid/internal/explore"
 	"nadroid/internal/store"
 )
@@ -30,6 +31,9 @@ type OptionsWire struct {
 	// Detectors selects the bug-family detectors by registry name.
 	// Absent/null means every detector (the default).
 	Detectors []string `json:"detectors,omitempty"`
+	// Provenance records per-warning evidence (derivation trees, filter
+	// verdicts, witnesses) served by the explain endpoints.
+	Provenance bool `json:"provenance,omitempty"`
 }
 
 // Normalize fills defaults so that two requests meaning the same run
@@ -69,6 +73,7 @@ func (o OptionsWire) ToOptions() nadroid.Options {
 		Validate:           o.Validate,
 		Explore:            explore.Options{MaxSchedules: o.MaxSchedules},
 		Detectors:          o.Detectors,
+		Provenance:         o.Provenance,
 	}
 }
 
@@ -82,6 +87,11 @@ func (o OptionsWire) cacheKeyPart() string {
 		o.K, o.SkipSoundFilters, o.SkipUnsoundFilters, o.MultiLooper, o.Validate, o.MaxSchedules)
 	if o.Detectors != nil {
 		part += " detectors=" + strings.Join(o.Detectors, ",")
+	}
+	// Appended only when set, keeping default keys identical to
+	// historical ones (same pattern as the detector set above).
+	if o.Provenance {
+		part += " provenance=true"
 	}
 	return part
 }
@@ -145,6 +155,9 @@ type ResultWire struct {
 	Timing  TimingWire    `json:"timing"`
 	// Cached is true when the result was served from the content cache.
 	Cached bool `json:"cached,omitempty"`
+	// Evidence maps fingerprints to provenance records (provenance runs
+	// only); absent otherwise, so historical payloads are unchanged.
+	Evidence map[string]*evidence.Evidence `json:"evidence,omitempty"`
 }
 
 // JobWire is the GET /v1/jobs/{id} response body.
@@ -244,6 +257,7 @@ func EncodeResult(app string, res *nadroid.Result) *ResultWire {
 			FreeLineage: x.Detail,
 		})
 	}
+	out.Evidence = res.Evidence
 	for _, h := range res.Harmful {
 		if w, ok := byKey[h.Key()]; ok {
 			out.Harmful = append(out.Harmful, w)
@@ -290,6 +304,16 @@ func StoreRun(key CacheKey, opts OptionsWire, res *ResultWire, now time.Time) (*
 			Fingerprint: w.Fingerprint, Detector: w.Detector, Field: w.Field, Use: w.Use, Free: w.Free,
 			Category: w.Category, UseLineage: w.UseLineage, FreeLineage: w.FreeLineage,
 		})
+	}
+	if len(res.Evidence) > 0 {
+		r.Evidence = make(map[string]json.RawMessage, len(res.Evidence))
+		for fp, ev := range res.Evidence {
+			raw, err := json.Marshal(ev)
+			if err != nil {
+				return nil, err
+			}
+			r.Evidence[fp] = raw
+		}
 	}
 	return r, nil
 }

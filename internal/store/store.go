@@ -70,6 +70,10 @@ type Run struct {
 	// a restarted service can serve it as a cache hit without
 	// re-analyzing.
 	Payload json.RawMessage `json:"payload,omitempty"`
+	// Evidence maps warning fingerprints to their provenance records
+	// (wire-format JSON, stored verbatim). Present only for runs
+	// analyzed with provenance on; the explain surfaces read it.
+	Evidence map[string]json.RawMessage `json:"evidence,omitempty"`
 }
 
 // Options tunes a store.
@@ -257,6 +261,45 @@ func sortRuns(runs []*Run) {
 		}
 		return runs[i].ID < runs[j].ID
 	})
+}
+
+// EvidenceFor finds the newest stored evidence record matching a
+// fingerprint, searching app's runs (every app when app is empty),
+// newest first. The fingerprint may be a unique prefix; ambiguous
+// prefixes and misses return ok == false.
+func (s *Store) EvidenceFor(app, fp string) (raw json.RawMessage, runID string, ok bool) {
+	if fp == "" {
+		return nil, "", false
+	}
+	var runs []*Run
+	if app != "" {
+		runs = s.Runs(app)
+	} else {
+		runs = s.All()
+	}
+	for _, r := range runs {
+		if len(r.Evidence) == 0 {
+			continue
+		}
+		if raw, ok := r.Evidence[fp]; ok {
+			return raw, r.ID, true
+		}
+		var match json.RawMessage
+		matches := 0
+		for k, v := range r.Evidence {
+			if strings.HasPrefix(k, fp) {
+				match = v
+				matches++
+			}
+		}
+		if matches == 1 {
+			return match, r.ID, true
+		}
+		if matches > 1 {
+			return nil, "", false // ambiguous within the newest matching run
+		}
+	}
+	return nil, "", false
 }
 
 // Apps lists the distinct app names with at least one run, sorted.

@@ -35,6 +35,10 @@ type Warning struct {
 	Objs []pointsto.ObjID
 	// FilteredBy records, per removed pair, which filter removed it.
 	FilteredBy map[ThreadPair]string
+	// Races are the racy access-ID pairs that contributed to this
+	// warning, in detection order — the hooks provenance queries use to
+	// re-derive the warning from the Datalog engine.
+	Races []race.Pair
 }
 
 // Key identifies a warning for deduplication and reporting.
@@ -139,6 +143,7 @@ func Group(m *threadify.Model, rr *race.Result) *Detection {
 		if !hasPair(existing.Pairs, pair) {
 			existing.Pairs = append(existing.Pairs, pair)
 		}
+		existing.Races = append(existing.Races, p)
 		existing.Objs = mergeObjs(existing.Objs, intersect(use.Objs, free.Objs))
 	}
 	sort.Strings(order)

@@ -29,6 +29,7 @@ import (
 
 	"nadroid/internal/apk"
 	"nadroid/internal/detect"
+	"nadroid/internal/evidence"
 	"nadroid/internal/explore"
 	"nadroid/internal/filters"
 	"nadroid/internal/obs"
@@ -66,6 +67,13 @@ type Options struct {
 	// non-nil set or an unknown name is an error. Disabling "uaf" skips
 	// the §6 filter pipeline and yields an empty classic report.
 	Detectors []string
+	// Provenance records full warning provenance: Datalog derivation
+	// trees (datalog.EnableProvenance on the shared engine), per-filter
+	// verdicts, aliasing chains, and validation witnesses, assembled
+	// into Result.Evidence keyed by fingerprint. Off by default — the
+	// record costs memory per derived tuple and is for triage, not for
+	// bulk corpus sweeps.
+	Provenance bool
 }
 
 // Timing is the per-phase wall-clock split (§8.8).
@@ -100,6 +108,11 @@ type Result struct {
 	// Harmful lists survivors confirmed by a dynamic witness (only when
 	// Options.Validate was set).
 	Harmful []*uaf.Warning
+	// Evidence maps warning fingerprints to their provenance records
+	// (only when Options.Provenance was set). Every UAF warning gets a
+	// record, including ones the filters killed — "why was this
+	// filtered" is half the point of the trail.
+	Evidence map[string]*evidence.Evidence
 	// Timing is the phase breakdown.
 	Timing Timing
 }
@@ -152,7 +165,7 @@ func AnalyzeContext(ctx context.Context, pkg *apk.Package, opts Options) (*Resul
 	}
 	start = time.Now()
 	dctx, span := obs.Start(ctx, "detection")
-	dc := detect.BuildContext(dctx, pkg.Name, model, detect.Options{Workers: opts.Workers})
+	dc := detect.BuildContext(dctx, pkg.Name, model, detect.Options{Workers: opts.Workers, Provenance: opts.Provenance})
 	dres, err := detect.Run(dctx, dc, detectors)
 	span.End()
 	if err != nil {
@@ -172,6 +185,10 @@ func AnalyzeContext(ctx context.Context, pkg *apk.Package, opts Options) (*Resul
 		return nil, err
 	}
 	start = time.Now()
+	var trail *filters.Trail
+	if opts.Provenance {
+		trail = filters.NewTrail()
+	}
 	if res.Detection != nil {
 		fctx, span := obs.Start(ctx, "filtering")
 		res.Stats = filters.RunWith(fctx, res.Detection, filters.RunConfig{
@@ -180,6 +197,7 @@ func AnalyzeContext(ctx context.Context, pkg *apk.Package, opts Options) (*Resul
 			SkipUnsound: opts.SkipUnsoundFilters,
 			Workers:     opts.Workers,
 			MHB:         dc.MHB,
+			Trail:       trail,
 		})
 		span.End()
 	} else {
@@ -209,6 +227,7 @@ func AnalyzeContext(ctx context.Context, pkg *apk.Package, opts Options) (*Resul
 	}
 	span.End()
 
+	var validations []explore.Validation
 	if opts.Validate && res.Detection != nil {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -219,16 +238,30 @@ func AnalyzeContext(ctx context.Context, pkg *apk.Package, opts Options) (*Resul
 			eopts.Workers = opts.Workers
 		}
 		vctx, span := obs.Start(ctx, "validation")
-		harmful, err := explore.ValidateAllContext(vctx, pkg, res.Model, res.Detection.Alive(), eopts)
+		vals, err := explore.ValidateAllDetailed(vctx, pkg, res.Model, res.Detection.Alive(), eopts)
+		var harmful []*uaf.Warning
+		for _, v := range vals {
+			if v.Harmful {
+				harmful = append(harmful, v.Warning)
+			}
+		}
 		span.SetAttr("harmful", len(harmful))
 		span.End()
 		if err != nil {
 			return nil, err
 		}
+		validations = vals
 		res.Harmful = harmful
 		res.Timing.Validation = time.Since(start)
 		log.Info("phase done", "phase", "validation",
 			"ms", res.Timing.Validation.Milliseconds(), "harmful", len(harmful))
+	}
+
+	if opts.Provenance && res.Detection != nil {
+		_, span := obs.Start(ctx, "evidence")
+		res.Evidence = assembleEvidence(pkg.Name, dc, res, trail, validations)
+		span.SetAttr("records", len(res.Evidence))
+		span.End()
 	}
 	return res, nil
 }
