@@ -91,6 +91,7 @@ func main() {
 		memProf   = flag.String("memprofile", "", "write a heap profile after the run to FILE (go tool pprof)")
 		provOn    = flag.Bool("provenance", false, "record warning provenance (derivations, filter trails); explore with `nadroid explain`")
 		storeDir  = flag.String("store-dir", "", "persist this analysis into a run store (enables `nadroid diff` / `baseline write`)")
+		irCache   = flag.Bool("ir-cache", true, "with -store-dir: reuse cached IR/model blobs and witness outcomes across runs")
 		baseFile  = flag.String("baseline", "", "suppress warnings listed in this baseline file (see `baseline write -o`)")
 	)
 	flag.Parse()
@@ -155,6 +156,7 @@ func main() {
 				Explore:            explore.Options{MaxSchedules: *budget},
 				Detectors:          detectors,
 				Provenance:         *provOn,
+				IRCache:            *irCache,
 			},
 		}, *csv, *storeDir, server.OptionsWire{
 			K: *k, SkipUnsoundFilters: *noUnsound, Validate: *validate, MaxSchedules: *budget,
@@ -196,7 +198,7 @@ func main() {
 		ctx = obs.WithLogger(ctx, slog.New(slog.NewTextHandler(os.Stderr, nil)))
 	}
 
-	res, err := nadroid.AnalyzeContext(ctx, pkg, nadroid.Options{
+	aopts := nadroid.Options{
 		K:                  *k,
 		SkipUnsoundFilters: *noUnsound,
 		Validate:           *validate,
@@ -204,7 +206,18 @@ func main() {
 		Workers:            *workers,
 		Detectors:          detectors,
 		Provenance:         *provOn,
-	})
+	}
+	// Open the store before analysis so warm runs can reuse cached IR
+	// blobs and witness outcomes instead of re-modeling and re-exploring.
+	var st *store.Store
+	canonical := dexasm.Format(pkg)
+	if *storeDir != "" {
+		st = mustOpenStore(*storeDir)
+		aopts.Store = st
+		aopts.IRCache = *irCache
+		aopts.IRDigest = store.IRDigest(canonical)
+	}
+	res, err := nadroid.AnalyzeContext(ctx, pkg, aopts)
 	if err != nil {
 		fatalf("analyze: %v", err)
 	}
@@ -227,11 +240,10 @@ func main() {
 		K: *k, SkipUnsoundFilters: *noUnsound, Validate: *validate, MaxSchedules: *budget,
 		Detectors: detectors, Provenance: *provOn,
 	}
-	if *storeDir != "" {
-		st := mustOpenStore(*storeDir)
+	if st != nil {
 		// Persist the pristine result (before any baseline suppression):
 		// stored history stays reviewable even as baselines evolve.
-		key := persistResult(st, dexasm.Format(pkg), optsWire, server.EncodeResult(pkg.Name, res))
+		key := persistResult(st, canonical, optsWire, server.EncodeResult(pkg.Name, res))
 		fmt.Fprintf(os.Stderr, "nadroid: stored run %s in %s\n", shortID(key), *storeDir)
 	}
 	var base *store.Baseline
@@ -310,6 +322,7 @@ func runCorpus(opts nadroid.CorpusOptions, csv bool, storeDir string, optsWire s
 	var st *store.Store
 	if storeDir != "" {
 		st = mustOpenStore(storeDir)
+		opts.Analysis.Store = st
 	}
 	var work []nadroid.CorpusApp
 	for _, app := range corpus.Apps() {

@@ -163,6 +163,9 @@ func persistResult(st *store.Store, canonical string, optsWire server.OptionsWir
 	key := server.ResultKey(canonical, optsWire)
 	run, err := server.StoreRun(key, optsWire, out, time.Now())
 	if err == nil {
+		// Record the program digest so GC can protect the run's IR-cache
+		// and witness-cache entries for as long as the run survives.
+		run.IRDigest = store.IRDigest(canonical)
 		err = st.Put(run)
 	}
 	if err != nil {

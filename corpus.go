@@ -6,7 +6,9 @@ import (
 	"sync"
 
 	"nadroid/internal/apk"
+	"nadroid/internal/dexasm"
 	"nadroid/internal/obs"
+	"nadroid/internal/store"
 )
 
 // CorpusApp is one unit of work for AnalyzeCorpus: a named application
@@ -78,7 +80,15 @@ func AnalyzeCorpusContext(ctx context.Context, apps []CorpusApp, opts CorpusOpti
 					results[i].Err = err
 					continue
 				}
-				res, err := AnalyzeContext(ctx, app.Build(), opts.Analysis)
+				pkg := app.Build()
+				aopts := opts.Analysis
+				// The IR digest is per-app; derive it from the canonical
+				// dexasm rendering so corpus sweeps share cache entries
+				// with CLI and service runs of the same program.
+				if aopts.Store != nil && aopts.IRCache && aopts.IRDigest == "" {
+					aopts.IRDigest = store.IRDigest(dexasm.Format(pkg))
+				}
+				res, err := AnalyzeContext(ctx, pkg, aopts)
 				results[i].Result, results[i].Err = res, err
 			}
 		}()

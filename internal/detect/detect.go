@@ -118,6 +118,11 @@ type Options struct {
 	// recording mode before the fact base is loaded, so every derived
 	// tuple can later be explained via Engine.Why.
 	Provenance bool
+	// Escape, when non-nil, is a precomputed thread-escape result (e.g.
+	// restored from the cold-start cache) that BuildContext uses instead
+	// of running the escape Datalog solve — the most expensive part of
+	// context construction.
+	Escape *escape.Result
 }
 
 // BuildContext computes the shared analysis state for one app: access
@@ -131,9 +136,12 @@ func BuildContext(ctx context.Context, app string, m *threadify.Model, opts Opti
 	span.End()
 	obs.Add(ctx, "race_accesses", int64(len(accesses)))
 
-	_, span = obs.Start(ctx, "escape.analyze")
-	esc := escape.AnalyzeWith(m, escape.Options{Workers: opts.Workers})
-	span.End()
+	esc := opts.Escape
+	if esc == nil {
+		_, span = obs.Start(ctx, "escape.analyze")
+		esc = escape.AnalyzeWith(m, escape.Options{Workers: opts.Workers})
+		span.End()
+	}
 
 	_, span = obs.Start(ctx, "hb.build")
 	g := hb.BuildMHB(m)

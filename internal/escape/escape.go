@@ -38,6 +38,33 @@ func (r *Result) Escaped(obj pointsto.ObjID) bool { return r.escaped[obj] }
 // ReacherCount returns how many threads reach obj.
 func (r *Result) ReacherCount(obj pointsto.ObjID) int { return r.reachers[obj] }
 
+// Snapshot flattens the result for serialization: one row per object
+// with a recorded reacher count, escaped derived per row. The order is
+// unspecified; FromSnapshot rebuilds an equivalent Result.
+func (r *Result) Snapshot() (objs []pointsto.ObjID, reachers []int, escaped []bool) {
+	for o, n := range r.reachers {
+		objs = append(objs, o)
+		reachers = append(reachers, n)
+		escaped = append(escaped, r.escaped[o])
+	}
+	return objs, reachers, escaped
+}
+
+// FromSnapshot rebuilds a Result from Snapshot's parallel slices.
+func FromSnapshot(objs []pointsto.ObjID, reachers []int, escaped []bool) *Result {
+	r := &Result{
+		escaped:  make(map[pointsto.ObjID]bool, len(objs)),
+		reachers: make(map[pointsto.ObjID]int, len(objs)),
+	}
+	for i, o := range objs {
+		r.reachers[o] = reachers[i]
+		if escaped[i] {
+			r.escaped[o] = true
+		}
+	}
+	return r
+}
+
 // Analyze computes escape facts for every abstract object in the model.
 func Analyze(m *threadify.Model) *Result { return AnalyzeWith(m, Options{}) }
 

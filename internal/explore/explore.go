@@ -37,6 +37,13 @@ type Options struct {
 	// (0 = GOMAXPROCS, 1 = sequential). The confirmed subset and its
 	// order are identical for any setting.
 	Workers int
+	// Conflicts, when set, enables partial-order reduction for warning
+	// validation: schedule prefixes that only permute independent
+	// actions collapse into one trace-equivalence class, and the DFS
+	// executes a single representative per class. nil explores
+	// exhaustively. Only ValidateWarning-family searches prune (they
+	// know the warning's use site); FindNPE/FindNoSleep never do.
+	Conflicts *Conflicts
 }
 
 func (o Options) withDefaults() Options {
@@ -73,6 +80,12 @@ func FindNPE(pkg *apk.Package, opts Options, match func(interp.NPE) bool) (*Witn
 // search mid-budget and reports ctx.Err(). A nil error with ok == false
 // means the budget was exhausted without a witness.
 func FindNPEContext(ctx context.Context, pkg *apk.Package, opts Options, match func(interp.NPE) bool) (*Witness, bool, error) {
+	return findNPE(ctx, pkg, opts, match, nil)
+}
+
+// findNPE is the shared search core; pr enables partial-order reduction
+// when non-nil (ValidateWarning-family callers only).
+func findNPE(ctx context.Context, pkg *apk.Package, opts Options, match func(interp.NPE) bool, pr *pruner) (*Witness, bool, error) {
 	opts = opts.withDefaults()
 	if match == nil {
 		match = func(interp.NPE) bool { return true }
@@ -86,7 +99,8 @@ func FindNPEContext(ctx context.Context, pkg *apk.Package, opts Options, match f
 	for _, takeOpaque := range policies {
 		iopts := opts.Interp
 		iopts.TakeOpaqueBranches = takeOpaque
-		w, ok, err := dfs(ctx, pkg, iopts, budget/len(policies), &executions, match, takeOpaque)
+		iopts.RecordChoices = pr != nil
+		w, ok, err := dfs(ctx, pkg, iopts, budget/len(policies), &executions, match, takeOpaque, pr)
 		if ok || err != nil {
 			return w, ok, err
 		}
@@ -94,17 +108,26 @@ func FindNPEContext(ctx context.Context, pkg *apk.Package, opts Options, match f
 	return nil, false, nil
 }
 
-// dfs runs the schedule-tree exploration for one branch policy.
-func dfs(ctx context.Context, pkg *apk.Package, iopts interp.Options, budget int, executions *int, match func(interp.NPE) bool, takeOpaque bool) (wit *Witness, found bool, err error) {
-	type item struct{ schedule []int }
-	stack := []item{{nil}}
+// dfs runs the schedule-tree exploration for one branch policy. With a
+// nil pruner the dedup map is keyed by the literal choice-index prefix
+// (exhaustive exploration); with a pruner it is keyed by the prefix's
+// trace-equivalence normal form, so permutations of independent actions
+// count as one node and only the first representative executes.
+func dfs(ctx context.Context, pkg *apk.Package, iopts interp.Options, budget int, executions *int, match func(interp.NPE) bool, takeOpaque bool, pr *pruner) (wit *Witness, found bool, err error) {
+	type item struct {
+		schedule []int
+		// acts is the action prefix behind schedule (pruner mode only):
+		// the option chosen at each frozen choice point.
+		acts []interp.Choice
+	}
+	stack := []item{{nil, nil}}
 	seen := map[string]bool{"": true}
 	// Counter deltas are accumulated locally and flushed once — a lock
 	// per executed schedule would be measurable on big budgets.
 	executed, pruned := 0, 0
 	defer func() {
-		obs.Add(ctx, "explore_schedules_executed", int64(executed))
-		obs.Add(ctx, "explore_schedules_pruned", int64(pruned))
+		obs.Add(ctx, "validation_schedules_executed", int64(executed))
+		obs.Add(ctx, "validation_schedules_pruned", int64(pruned))
 		if found {
 			obs.Add(ctx, "explore_witnesses", 1)
 		}
@@ -133,6 +156,15 @@ func dfs(ctx context.Context, pkg *apk.Package, iopts interp.Options, budget int
 				}, true, nil
 			}
 		}
+		// The action actually taken at each choice point of this run,
+		// for extending sibling prefixes in pruner mode.
+		var chosen []interp.Choice
+		if pr != nil {
+			chosen = make([]interp.Choice, len(info.Choices))
+			for j, row := range info.Choices {
+				chosen[j] = row[info.Taken[j]]
+			}
+		}
 		// Expand siblings at every choice point at or beyond the frozen
 		// prefix (earlier points are owned by ancestors in the DFS tree).
 		for i := len(it.schedule); i < len(info.Arity); i++ {
@@ -143,10 +175,19 @@ func dfs(ctx context.Context, pkg *apk.Package, iopts interp.Options, budget int
 				next := make([]int, i+1)
 				copy(next, info.Taken[:i])
 				next[i] = alt
-				key := fmt.Sprint(next)
+				var key string
+				var acts []interp.Choice
+				if pr != nil {
+					acts = make([]interp.Choice, i+1)
+					copy(acts, chosen[:i])
+					acts[i] = info.Choices[i][alt]
+					key = pr.canonicalKey(acts, info.Forced[:i+1])
+				} else {
+					key = fmt.Sprint(next)
+				}
 				if !seen[key] {
 					seen[key] = true
-					stack = append(stack, item{next})
+					stack = append(stack, item{next, acts})
 				} else {
 					pruned++
 				}
@@ -175,9 +216,13 @@ func ValidateWarningContext(ctx context.Context, pkg *apk.Package, model *thread
 		opts.Interp.EventFilter = warningEventFilter(model, w)
 		opts.Interp.SpawnFilter = warningSpawnFilter(model, w)
 	}
-	return FindNPEContext(ctx, pkg, opts, func(n interp.NPE) bool {
+	var pr *pruner
+	if opts.Conflicts != nil {
+		pr = opts.Conflicts.ForWarning(w)
+	}
+	return findNPE(ctx, pkg, opts, func(n interp.NPE) bool {
 		return n.LoadedAt == w.Use
-	})
+	}, pr)
 }
 
 // warningSpawnFilter allows only the background-thread classes on the

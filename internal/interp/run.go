@@ -34,6 +34,26 @@ type ScheduleInfo struct {
 	Arity []int
 	// Taken[i] is the option index chosen at the i-th choice point.
 	Taken []int
+	// Choices[i] is the full option row at the i-th choice point (only
+	// under Options.RecordChoices). Choices[i][Taken[i]] is the action
+	// the run performed there.
+	Choices [][]Choice
+	// Forced[i] counts the hidden forced actions (single-option steps
+	// other than a plain "run:looper" drain quantum) taken between
+	// choice point i-1 and choice point i (only under
+	// Options.RecordChoices). A partial-order reducer must not commute
+	// recorded actions across a boundary with hidden actions: those
+	// steps belong to neither neighbor.
+	Forced []int
+}
+
+// Choice identifies one scheduler alternative: its stable option key and
+// the entry method of the task/thread it advances or starts ("" when
+// unknown). The explorer's partial-order reduction keys its conflict
+// summaries on Method and its trace-equivalence classes on Key.
+type Choice struct {
+	Key    string
+	Method string
 }
 
 // Run executes the package under a schedule: whenever more than one
@@ -44,6 +64,7 @@ type ScheduleInfo struct {
 func Run(w *World, schedule []int) *ScheduleInfo {
 	info := &ScheduleInfo{}
 	pos := 0
+	forced := 0
 	for !w.halted && w.steps < w.opts.MaxSteps {
 		opts := w.Options()
 		// Drop blocked executors from the option list.
@@ -71,7 +92,18 @@ func Run(w *World, schedule []int) *ScheduleInfo {
 			}
 			info.Arity = append(info.Arity, len(opts))
 			info.Taken = append(info.Taken, choice)
+			if w.opts.RecordChoices {
+				row := make([]Choice, len(opts))
+				for i, o := range opts {
+					row[i] = Choice{Key: o.key, Method: o.method}
+				}
+				info.Choices = append(info.Choices, row)
+				info.Forced = append(info.Forced, forced)
+				forced = 0
+			}
 			pos++
+		} else if w.opts.RecordChoices && opts[0].key != "run:looper" {
+			forced++
 		}
 		opts[choice].run(w)
 	}

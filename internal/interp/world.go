@@ -43,6 +43,12 @@ type Options struct {
 	// (posting, spawning, registration, lifecycle order). Package
 	// dynrace consumes it for offline race detection.
 	Record bool
+	// RecordChoices makes Run keep the full option row (key + entry
+	// method) at every multi-option choice point in ScheduleInfo.Choices.
+	// The explorer's partial-order reduction needs the identities to
+	// canonicalize schedule prefixes; off by default because computing
+	// the entry refs allocates per choice point.
+	RecordChoices bool
 }
 
 // AccessEvent is one recorded field access (Options.Record).
@@ -422,35 +428,52 @@ func (w *World) tracef(format string, args ...interface{}) {
 // option is one scheduler alternative at a choice point.
 type option struct {
 	key string
-	run func(w *World)
+	// method is the entry method ref behind the option (the task or
+	// thread body it runs/starts). Only populated under
+	// Options.RecordChoices; "" when unknown.
+	method string
+	run    func(w *World)
 }
 
 // options enumerates the current scheduler alternatives in a stable
 // order: advancing a busy executor, or (when the looper is idle)
 // dispatching a queued task or firing an enabled external event.
 func (w *World) Options() []option {
+	rec := w.opts.RecordChoices
 	var opts []option
 	if !w.looper.idle() {
-		opts = append(opts, option{key: "run:looper", run: func(w *World) { w.quantum(w.looper) }})
+		o := option{key: "run:looper", run: func(w *World) { w.quantum(w.looper) }}
+		if rec {
+			o.method = w.looper.stack[0].m.Ref()
+		}
+		opts = append(opts, o)
 	} else {
 		if len(w.queue) > 0 {
 			// FIFO dispatch: the Android looper processes its queue in
 			// order, so only the head is dispatchable.
 			t := w.queue[0]
-			opts = append(opts, option{key: "dispatch:" + t.name, run: func(w *World) {
+			o := option{key: "dispatch:" + t.name, run: func(w *World) {
 				w.queue = w.queue[1:]
 				w.startTask(w.looper, t)
-			}})
+			}}
+			if rec && t.m != nil {
+				o.method = t.m.Ref()
+			}
+			opts = append(opts, o)
 		}
 		for _, ev := range w.events {
 			if !ev.enabled(w) {
 				continue
 			}
 			ev := ev
-			opts = append(opts, option{key: fmt.Sprintf("event:%d:%s", ev.id, ev.name), run: func(w *World) {
+			o := option{key: fmt.Sprintf("event:%d:%s", ev.id, ev.name), run: func(w *World) {
 				ev.fired++
 				w.fireEvent(ev)
-			}})
+			}}
+			if rec && ev.m != nil {
+				o.method = ev.m.Ref()
+			}
+			opts = append(opts, o)
 		}
 	}
 	for _, bg := range w.bgs {
@@ -458,7 +481,11 @@ func (w *World) Options() []option {
 			continue
 		}
 		bg := bg
-		opts = append(opts, option{key: "run:" + bg.name, run: func(w *World) { w.quantum(bg) }})
+		o := option{key: "run:" + bg.name, run: func(w *World) { w.quantum(bg) }}
+		if rec {
+			o.method = bg.stack[0].m.Ref()
+		}
+		opts = append(opts, o)
 	}
 	sort.Slice(opts, func(i, j int) bool { return opts[i].key < opts[j].key })
 	return opts

@@ -404,3 +404,109 @@ func TestPprofGating(t *testing.T) {
 		t.Errorf("pprof index status = %d, want 200 with profile listing", resp.StatusCode)
 	}
 }
+
+// TestValidationMetricsExposition runs a store-backed, validated
+// analysis and asserts the validation counter families — schedule
+// executions, prune counts, and witness-cache traffic — surface both in
+// the /metrics exposition and in the per-job trace's counter snapshot.
+func TestValidationMetricsExposition(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Workers: 1, Store: st})
+
+	resp, data := postJSON(t, ts.URL+"/v1/analyze?async=true", map[string]interface{}{
+		"app":     "Aard", // deep enough searches for the pruner to collapse classes
+		"options": map[string]interface{}{"validate": true, "max_schedules": 500},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit status = %d: %s", resp.StatusCode, data)
+	}
+	var jw JobWire
+	if err := json.Unmarshal(data, &jw); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		_, data = getBody(t, fmt.Sprintf("%s/v1/jobs/%s", ts.URL, jw.ID))
+		if err := json.Unmarshal(data, &jw); err != nil {
+			t.Fatal(err)
+		}
+		if jw.State == StateDone {
+			break
+		}
+		if jw.State == StateFailed || jw.State == StateCanceled {
+			t.Fatalf("job ended %s: %s", jw.State, jw.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job still %s after 60s", jw.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	families := []string{
+		"nadroid_pipeline_validation_schedules_executed",
+		"nadroid_pipeline_validation_schedules_pruned",
+		"nadroid_pipeline_validation_witness_cache_hits",
+		"nadroid_pipeline_validation_witness_cache_misses",
+		"nadroid_pipeline_ircache_misses",
+	}
+
+	resp, expo := getBody(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	vals := map[string]float64{}
+	for _, line := range strings.Split(strings.TrimRight(string(expo), "\n"), "\n") {
+		m := expoLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("unparseable metrics line: %q", line)
+		}
+		if m[2] == "" {
+			v, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				t.Fatalf("non-numeric value in %q: %v", line, err)
+			}
+			vals[m[1]] = v
+		}
+	}
+	for _, name := range families {
+		if _, ok := vals[name]; !ok {
+			t.Errorf("metric family %s missing from exposition", name)
+		}
+	}
+	if vals["nadroid_pipeline_validation_schedules_executed"] <= 0 {
+		t.Errorf("validation_schedules_executed = %v, want > 0",
+			vals["nadroid_pipeline_validation_schedules_executed"])
+	}
+	if vals["nadroid_pipeline_validation_schedules_pruned"] <= 0 {
+		t.Errorf("validation_schedules_pruned = %v, want > 0 (pruner not biting)",
+			vals["nadroid_pipeline_validation_schedules_pruned"])
+	}
+	// First run against an empty store: every witness lookup missed.
+	if vals["nadroid_pipeline_validation_witness_cache_misses"] <= 0 {
+		t.Errorf("witness_cache_misses = %v, want > 0 on a cold store",
+			vals["nadroid_pipeline_validation_witness_cache_misses"])
+	}
+
+	// The same counters ride on the finished job's trace response.
+	resp, data = getBody(t, fmt.Sprintf("%s/v1/jobs/%s/trace", ts.URL, jw.ID))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status = %d: %s", resp.StatusCode, data)
+	}
+	var tw struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(data, &tw); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"validation_schedules_executed", "validation_schedules_pruned",
+		"validation_witness_cache_misses",
+	} {
+		if tw.Counters[name] <= 0 {
+			t.Errorf("per-job trace counter %s = %d, want > 0", name, tw.Counters[name])
+		}
+	}
+}

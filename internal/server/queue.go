@@ -86,6 +86,23 @@ func (j *Job) Trace() (*obs.Tracer, bool) {
 	return j.trace, j.trace != nil
 }
 
+// Pipeline returns the job's deep pipeline counter snapshot (schedule
+// executions, prune counts, cache hits, ...). Nil until the job reaches
+// a terminal state.
+func (j *Job) Pipeline() map[string]int64 {
+	select {
+	case <-j.done:
+	default:
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.pipeline == nil {
+		return nil
+	}
+	return j.pipeline.Snapshot()
+}
+
 // Cancel requests cancellation: a queued job is terminally canceled in
 // place; a running job has its context canceled and finishes as
 // canceled when the pipeline unwinds. Terminal jobs are unaffected.

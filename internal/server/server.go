@@ -302,6 +302,14 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	opts := req.Options.ToOptions()
 	opts.Workers = s.cfg.PipelineWorkers
+	digest := store.IRDigest(canonical)
+	if s.store != nil {
+		// Store-backed servers run warm by default: modeled IR and witness
+		// outcomes are reused across processes keyed by the program digest.
+		opts.Store = s.store
+		opts.IRCache = true
+		opts.IRDigest = digest
+	}
 	appName := pkg.Name
 	job, err := s.pool.Submit(appName, timeout, func(ctx context.Context) (*ResultWire, error) {
 		res, err := nadroid.AnalyzeContext(ctx, pkg, opts)
@@ -313,7 +321,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		if res.Detect != nil {
 			s.metrics.AddDetectorWarnings(res.Detect.Counts)
 		}
-		s.persistRun(key, req.Options, out)
+		s.persistRun(key, req.Options, out, digest)
 		s.applyStoreBaseline(out)
 		s.cache.Put(key, out)
 		return out, nil
@@ -370,12 +378,13 @@ func (s *Server) storedResult(key CacheKey) (*ResultWire, bool) {
 // persistRun writes a completed analysis to the store (pristine, before
 // baseline suppression). Persistence failures are logged, never fatal:
 // the analysis still answers from memory.
-func (s *Server) persistRun(key CacheKey, opts OptionsWire, res *ResultWire) {
+func (s *Server) persistRun(key CacheKey, opts OptionsWire, res *ResultWire, digest string) {
 	if s.store == nil {
 		return
 	}
 	run, err := StoreRun(key, opts, res, time.Now())
 	if err == nil {
+		run.IRDigest = digest
 		err = s.store.Put(run)
 	}
 	if err != nil && s.cfg.Logger != nil {
@@ -521,11 +530,12 @@ func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request, job *Job
 		return
 	}
 	writeJSON(w, http.StatusOK, struct {
-		Job     string          `json:"job"`
-		Spans   int             `json:"spans"`
-		Dropped int             `json:"dropped,omitempty"`
-		Roots   []*obs.SpanNode `json:"roots"`
-	}{Job: job.ID, Spans: tr.SpanCount(), Dropped: tr.Dropped(), Roots: tr.Nodes()})
+		Job      string           `json:"job"`
+		Spans    int              `json:"spans"`
+		Dropped  int              `json:"dropped,omitempty"`
+		Counters map[string]int64 `json:"counters,omitempty"`
+		Roots    []*obs.SpanNode  `json:"roots"`
+	}{Job: job.ID, Spans: tr.SpanCount(), Dropped: tr.Dropped(), Counters: job.Pipeline(), Roots: tr.Nodes()})
 }
 
 func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {

@@ -60,6 +60,11 @@ type Run struct {
 	App       string    `json:"app"`
 	Options   string    `json:"options,omitempty"`
 	CreatedAt time.Time `json:"created_at"`
+	// IRDigest is the content digest of the app's canonical program text
+	// (store.IRDigest). It links the run to its witness-cache and
+	// IR-cache entries: GC keeps a cache entry alive only while some run
+	// still carries its digest.
+	IRDigest string `json:"ir_digest,omitempty"`
 	// Detectors is the enabled detector set that produced the run.
 	// Runs persisted before detector selection existed have none; the
 	// differ only refuses when both sides carry metadata and disagree.
@@ -118,7 +123,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	if s.log == nil {
 		s.log = slog.New(discardHandler{})
 	}
-	for _, sub := range []string{s.runDir(), s.baselineDir()} {
+	for _, sub := range []string{s.runDir(), s.baselineDir(), s.witnessDir(), s.ircacheDir()} {
 		if err := os.MkdirAll(sub, 0o755); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
@@ -335,7 +340,11 @@ func (s *Store) Counters() Counters {
 
 // GC removes runs beyond the per-app count bound or older than the age
 // bound, except runs referenced by a baseline (a reviewed baseline must
-// keep its reference run diffable). It returns how many were removed.
+// keep its reference run diffable). It then collects orphaned derived
+// caches: witness and IR-cache entries whose digest no surviving run
+// carries (baseline-referenced runs always survive, so their cache
+// entries are never collected). It returns how many records — runs and
+// cache entries — were removed.
 func (s *Store) GC(now time.Time) int {
 	protected := make(map[string]bool)
 	for _, b := range s.Baselines() {
@@ -374,7 +383,16 @@ func (s *Store) GC(now time.Time) int {
 				"age", now.Sub(r.CreatedAt).String(), "over_count", tooMany)
 		}
 	}
-	return removed
+	// Digests of every surviving run protect their cache entries.
+	digests := make(map[string]bool)
+	for _, r := range s.runs {
+		if r.IRDigest != "" {
+			digests[r.IRDigest] = true
+		}
+	}
+	cacheRemoved := s.gcCaches(digests)
+	s.c.GCRemoved += uint64(cacheRemoved)
+	return removed + cacheRemoved
 }
 
 // RunID computes the content address for an analysis: the SHA-256 of

@@ -29,11 +29,13 @@ import (
 
 	"nadroid/internal/apk"
 	"nadroid/internal/detect"
+	"nadroid/internal/escape"
 	"nadroid/internal/evidence"
 	"nadroid/internal/explore"
 	"nadroid/internal/filters"
 	"nadroid/internal/obs"
 	"nadroid/internal/report"
+	"nadroid/internal/store"
 	"nadroid/internal/threadify"
 	"nadroid/internal/uaf"
 )
@@ -74,6 +76,23 @@ type Options struct {
 	// record costs memory per derived tuple and is for triage, not for
 	// bulk corpus sweeps.
 	Provenance bool
+	// Store, when set together with IRDigest, enables the persistent
+	// derived caches: validation outcomes are read from and written to
+	// the store's witness cache, and (with IRCache) the binary
+	// cold-start cache replaces the modeling phase on warm runs. Both
+	// caches are behavior-transparent.
+	Store *store.Store
+	// IRDigest is the content digest of the app's canonical program
+	// text (store.IRDigest over the dexasm rendering). It keys every
+	// derived-cache entry; empty disables both caches.
+	IRDigest string
+	// IRCache additionally enables the binary cold-start cache (parsed
+	// IR + threadified model + solved points-to facts).
+	IRCache bool
+	// irProbed marks that the cold-start cache was already consulted
+	// for this run (AnalyzeSource probes before parsing), so the
+	// pipeline core does not probe — and count — a second time.
+	irProbed bool
 }
 
 // Timing is the per-phase wall-clock split (§8.8).
@@ -135,11 +154,24 @@ func Analyze(pkg *apk.Package, opts Options) (*Result, error) {
 // sub-stages record spans, deep counters, and structured phase logs.
 // With nothing attached the instrumentation is a no-op.
 func AnalyzeContext(ctx context.Context, pkg *apk.Package, opts Options) (*Result, error) {
+	return analyze(ctx, pkg, nil, nil, opts)
+}
+
+// analyze is the shared pipeline core. A non-nil model means the caller
+// already restored pkg+model (and the escape result) from the cold-start
+// cache and the modeling phase is skipped; a nil model runs cold
+// modeling and, after the detection context is built, writes the cache
+// when enabled.
+func analyze(ctx context.Context, pkg *apk.Package, model *threadify.Model, esc *escape.Result, opts Options) (*Result, error) {
 	res := &Result{}
 	// Resolve the detector set before any expensive phase runs.
 	detectors, err := detect.Select(opts.Detectors)
 	if err != nil {
 		return nil, err
+	}
+	detectorNames := make([]string, len(detectors))
+	for i, d := range detectors {
+		detectorNames[i] = d.Name()
 	}
 	ctx, root := obs.Start(ctx, "analyze", obs.KV("app", pkg.Name), obs.KV("k", opts.K))
 	defer root.End()
@@ -149,11 +181,21 @@ func AnalyzeContext(ctx context.Context, pkg *apk.Package, opts Options) (*Resul
 		return nil, err
 	}
 	start := time.Now()
-	mctx, span := obs.Start(ctx, "modeling")
-	model, err := threadify.BuildContext(mctx, pkg, threadify.Options{K: opts.K})
-	span.End()
-	if err != nil {
-		return nil, err
+	if model == nil {
+		if dec := loadIRCache(ctx, opts); dec != nil {
+			pkg = dec.Pkg
+			model = dec.Model
+			esc = dec.Escape
+		}
+	}
+	cold := model == nil
+	if cold {
+		mctx, span := obs.Start(ctx, "modeling")
+		model, err = threadify.BuildContext(mctx, pkg, threadify.Options{K: opts.K})
+		span.End()
+		if err != nil {
+			return nil, err
+		}
 	}
 	res.Model = model
 	res.Timing.Modeling = time.Since(start)
@@ -165,11 +207,16 @@ func AnalyzeContext(ctx context.Context, pkg *apk.Package, opts Options) (*Resul
 	}
 	start = time.Now()
 	dctx, span := obs.Start(ctx, "detection")
-	dc := detect.BuildContext(dctx, pkg.Name, model, detect.Options{Workers: opts.Workers, Provenance: opts.Provenance})
+	dc := detect.BuildContext(dctx, pkg.Name, model, detect.Options{Workers: opts.Workers, Provenance: opts.Provenance, Escape: esc})
 	dres, err := detect.Run(dctx, dc, detectors)
 	span.End()
 	if err != nil {
 		return nil, err
+	}
+	if cold {
+		// The blob carries the escape facts the context just solved, so
+		// warm runs skip parsing, modeling, AND the escape solve.
+		saveIRCache(ctx, pkg, model, dc.Escape, opts)
 	}
 	res.Detect = dres
 	res.Detection = dres.UAF
@@ -237,8 +284,12 @@ func AnalyzeContext(ctx context.Context, pkg *apk.Package, opts Options) (*Resul
 		if eopts.Workers == 0 {
 			eopts.Workers = opts.Workers
 		}
+		// Partial-order reduction: derive the callback conflict relation
+		// from the access facts the detectors already computed, so the
+		// explorer executes one schedule per trace-equivalence class.
+		eopts.Conflicts = explore.NewConflicts(res.Model, dc.Accesses)
 		vctx, span := obs.Start(ctx, "validation")
-		vals, err := explore.ValidateAllDetailed(vctx, pkg, res.Model, res.Detection.Alive(), eopts)
+		vals, err := validateWithCache(vctx, pkg, res.Model, res.Detection.Alive(), opts, eopts, detectorNames)
 		var harmful []*uaf.Warning
 		for _, v := range vals {
 			if v.Harmful {

@@ -124,7 +124,7 @@ func TestAnalyzeTraceTree(t *testing.T) {
 		"race_accesses", "race_pairs",
 		"uaf_warnings",
 		"threads_modeled",
-		"explore_schedules_executed",
+		"validation_schedules_executed",
 		"detect_context_builds",
 	} {
 		if metrics.Get(name) <= 0 {

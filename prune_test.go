@@ -1,0 +1,113 @@
+package nadroid_test
+
+import (
+	"context"
+	"testing"
+
+	"nadroid"
+	"nadroid/internal/corpus"
+	"nadroid/internal/detect"
+	"nadroid/internal/explore"
+	"nadroid/internal/filters"
+	"nadroid/internal/obs"
+	"nadroid/internal/threadify"
+)
+
+// TestPrunedExplorerMatchesExhaustive is the differential gate on the
+// partial-order reduction: for every validation-bearing corpus app, the
+// pruned explorer must classify every warning exactly as the exhaustive
+// explorer does (same harmful set, witness presence agreeing), at both
+// workers=1 and workers=8, while actually pruning schedules.
+func TestPrunedExplorerMatchesExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep is slow")
+	}
+	apps := []string{"ConnectBot", "Aard", "QKSMS", "Music"}
+	var totalExecuted, totalPruned int64
+	for _, name := range apps {
+		app, ok := corpus.ByName(name)
+		if !ok {
+			t.Fatalf("corpus app %s missing", name)
+		}
+		pkg := app.Build()
+		model, err := threadify.Build(pkg, threadify.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dc := detect.BuildContext(context.Background(), name, model, detect.Options{})
+		dres, err := detect.Run(context.Background(), dc, detect.All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dres.UAF == nil {
+			t.Fatalf("%s: no uaf detection", name)
+		}
+		filters.RunWith(context.Background(), dres.UAF, filters.RunConfig{MHB: dc.MHB})
+		alive := dres.UAF.Alive()
+		if len(alive) == 0 {
+			continue
+		}
+
+		base := explore.Options{MaxSchedules: 3000, Workers: 1}
+		exhaustive, err := explore.ValidateAllDetailed(context.Background(), pkg, model, alive, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		conflicts := explore.NewConflicts(model, dc.Accesses)
+		for _, workers := range []int{1, 8} {
+			popts := base
+			popts.Workers = workers
+			popts.Conflicts = conflicts
+			m := obs.NewMetrics()
+			ctx := obs.WithMetrics(context.Background(), m)
+			pruned, err := explore.ValidateAllDetailed(ctx, pkg, model, alive, popts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pruned) != len(exhaustive) {
+				t.Fatalf("%s workers=%d: %d pruned results vs %d exhaustive", name, workers, len(pruned), len(exhaustive))
+			}
+			for i := range exhaustive {
+				e, p := exhaustive[i], pruned[i]
+				if e.Harmful != p.Harmful {
+					t.Errorf("%s workers=%d warning %s: exhaustive harmful=%t, pruned harmful=%t",
+						name, workers, e.Warning.Field, e.Harmful, p.Harmful)
+				}
+				if (e.Witness != nil) != (p.Witness != nil) {
+					t.Errorf("%s workers=%d warning %s: witness presence differs", name, workers, e.Warning.Field)
+				}
+			}
+			totalExecuted += m.Get("validation_schedules_executed")
+			totalPruned += m.Get("validation_schedules_pruned")
+		}
+	}
+	if totalPruned == 0 {
+		t.Errorf("partial-order reduction pruned 0 schedules over %d executed; conflict summaries are not biting", totalExecuted)
+	}
+	t.Logf("pruned %d schedules, executed %d (prune ratio %.1f%%)",
+		totalPruned, totalExecuted, 100*float64(totalPruned)/float64(totalPruned+totalExecuted))
+}
+
+// TestValidationCountersExported asserts the analyze pipeline exports
+// the new validation counter families. Aard is used because its
+// searches are deep enough for the partial-order reduction to collapse
+// classes (ConnectBot's witnesses surface within a schedule or two, so
+// there is nothing to prune).
+func TestValidationCountersExported(t *testing.T) {
+	app, _ := corpus.ByName("Aard")
+	m := obs.NewMetrics()
+	ctx := obs.WithMetrics(context.Background(), m)
+	if _, err := nadroid.AnalyzeContext(ctx, app.Build(), nadroid.Options{
+		Validate: true,
+		Explore:  explore.Options{MaxSchedules: 500},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Get("validation_schedules_executed") <= 0 {
+		t.Errorf("validation_schedules_executed = %d, want > 0", m.Get("validation_schedules_executed"))
+	}
+	if m.Get("validation_schedules_pruned") <= 0 {
+		t.Errorf("validation_schedules_pruned = %d, want > 0", m.Get("validation_schedules_pruned"))
+	}
+}
