@@ -25,7 +25,7 @@ race:
 # benchmarks tractable) and converts the output into $(BENCH_OUT):
 # per-phase medians (including the per-detector PhaseDetection/<name>
 # split), deep counters, and the traced-vs-untraced pair.
-BENCH_OUT := BENCH_pr8.json
+BENCH_OUT := BENCH_pr9.json
 # The baseline is the newest committed BENCH_pr*.json other than the one
 # being written (version-sorted, so a pr10 would outrank a pr9).
 BENCH_BASE = $(shell ls BENCH_pr*.json 2>/dev/null | grep -vx '$(BENCH_OUT)' | sort -V | tail -1)

@@ -15,6 +15,8 @@ package nadroid_test
 
 import (
 	"context"
+	"os"
+	"path/filepath"
 	"sort"
 	"testing"
 	"time"
@@ -572,5 +574,120 @@ func BenchmarkDynamicDetector(b *testing.B) {
 		interp.Run(w, nil)
 		races := dynrace.Analyze(w.Recorded(), dynrace.Options{UseFreeOnly: true})
 		b.ReportMetric(float64(len(races)), "dynamic-races")
+	}
+}
+
+// Incremental re-analysis benchmarks (PR 9): the one-method-edit
+// turnaround. Setup analyzes the pristine app into a store; each
+// iteration re-analyzes a body-edited variant, which anchors on the
+// stored base run and re-derives only the changed method's facts. The
+// mutated variant's own cache artifacts are deleted between iterations
+// so every iteration measures the incremental path, not a blob replay.
+
+// wipeNewCacheFiles removes ircache/incr files that appeared after the
+// baseline snapshot, so the next iteration's mutated app misses the
+// blob cache and anchors on the pristine base run again.
+func wipeNewCacheFiles(b *testing.B, dir string, baseline map[string]bool) {
+	b.Helper()
+	for _, sub := range []string{"ircache", "incr"} {
+		names, err := filepath.Glob(filepath.Join(dir, sub, "*"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, n := range names {
+			if !baseline[n] {
+				if err := os.Remove(n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func cacheFileSnapshot(b *testing.B, dir string) map[string]bool {
+	b.Helper()
+	seen := make(map[string]bool)
+	for _, sub := range []string{"ircache", "incr"} {
+		names, err := filepath.Glob(filepath.Join(dir, sub, "*"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, n := range names {
+			seen[n] = true
+		}
+	}
+	return seen
+}
+
+func BenchmarkAnalyzeSourceIncremental(b *testing.B) {
+	app, _ := corpus.ByName("Mms")
+	src := dexasm.Format(app.Build())
+	mutated := app.Build()
+	mutations[0].fn(b, mutated)
+	mutSrc := dexasm.Format(mutated)
+
+	dir := b.TempDir()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := nadroid.Options{Store: st, IRCache: true, Incremental: true}
+	if _, err := nadroid.AnalyzeSource(context.Background(), src, opts); err != nil {
+		b.Fatal(err)
+	}
+	baseline := cacheFileSnapshot(b, dir)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := nadroid.AnalyzeSource(context.Background(), mutSrc, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Disposition != nadroid.DispositionIncremental {
+			b.Fatalf("disposition = %q, want incremental", res.Disposition)
+		}
+		b.StopTimer()
+		wipeNewCacheFiles(b, dir, baseline)
+		b.StartTimer()
+	}
+}
+
+// BenchmarkTable1IncrementalEdit sweeps the whole Table-1 corpus: every
+// app gets a one-method body edit and an incremental re-analysis
+// against its stored base run. The incremental-runs metric confirms the
+// sweep stayed on the fast path.
+func BenchmarkTable1IncrementalEdit(b *testing.B) {
+	dir := b.TempDir()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := nadroid.Options{Store: st, IRCache: true, Incremental: true}
+	type unit struct{ name, mutSrc string }
+	var work []unit
+	for _, app := range corpus.Apps() {
+		if _, err := nadroid.AnalyzeSource(context.Background(), dexasm.Format(app.Build()), opts); err != nil {
+			b.Fatalf("%s: %v", app.Name(), err)
+		}
+		mutated := app.Build()
+		mutations[0].fn(b, mutated)
+		work = append(work, unit{app.Name(), dexasm.Format(mutated)})
+	}
+	baseline := cacheFileSnapshot(b, dir)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		incremental := 0
+		for _, u := range work {
+			res, err := nadroid.AnalyzeSource(context.Background(), u.mutSrc, opts)
+			if err != nil {
+				b.Fatalf("%s: %v", u.name, err)
+			}
+			if res.Disposition == nadroid.DispositionIncremental {
+				incremental++
+			}
+		}
+		b.ReportMetric(float64(incremental), "incremental-runs")
+		b.StopTimer()
+		wipeNewCacheFiles(b, dir, baseline)
+		b.StartTimer()
 	}
 }

@@ -92,6 +92,7 @@ func main() {
 		provOn    = flag.Bool("provenance", false, "record warning provenance (derivations, filter trails); explore with `nadroid explain`")
 		storeDir  = flag.String("store-dir", "", "persist this analysis into a run store (enables `nadroid diff` / `baseline write`)")
 		irCache   = flag.Bool("ir-cache", true, "with -store-dir: reuse cached IR/model blobs and witness outcomes across runs")
+		increm    = flag.Bool("incremental", true, "with -store-dir: on a cache miss, diff against the nearest stored run and re-analyze only what changed")
 		baseFile  = flag.String("baseline", "", "suppress warnings listed in this baseline file (see `baseline write -o`)")
 	)
 	flag.Parse()
@@ -157,6 +158,7 @@ func main() {
 				Detectors:          detectors,
 				Provenance:         *provOn,
 				IRCache:            *irCache,
+				Incremental:        *increm,
 			},
 		}, *csv, *storeDir, server.OptionsWire{
 			K: *k, SkipUnsoundFilters: *noUnsound, Validate: *validate, MaxSchedules: *budget,
@@ -215,6 +217,7 @@ func main() {
 		st = mustOpenStore(*storeDir)
 		aopts.Store = st
 		aopts.IRCache = *irCache
+		aopts.Incremental = *increm
 		aopts.IRDigest = store.IRDigest(canonical)
 	}
 	res, err := nadroid.AnalyzeContext(ctx, pkg, aopts)
@@ -244,7 +247,7 @@ func main() {
 		// Persist the pristine result (before any baseline suppression):
 		// stored history stays reviewable even as baselines evolve.
 		key := persistResult(st, canonical, optsWire, server.EncodeResult(pkg.Name, res))
-		fmt.Fprintf(os.Stderr, "nadroid: stored run %s in %s\n", shortID(key), *storeDir)
+		fmt.Fprintf(os.Stderr, "nadroid: stored run %s in %s (cache=%s)\n", shortID(key), *storeDir, res.Disposition)
 	}
 	var base *store.Baseline
 	if *baseFile != "" {
@@ -346,6 +349,9 @@ func runCorpus(opts nadroid.CorpusOptions, csv bool, storeDir string, optsWire s
 			r.App, r.Result.Stats.Potential, r.Result.Stats.AfterSound, r.Result.Stats.AfterUnsound)
 		if opts.Analysis.Validate {
 			fmt.Printf("  harmful %d", len(r.Result.Harmful))
+		}
+		if st != nil {
+			fmt.Printf("  cache=%s", r.Result.Disposition)
 		}
 		fmt.Println()
 		pot += r.Result.Stats.Potential

@@ -85,7 +85,7 @@ func AnalyzeCorpusContext(ctx context.Context, apps []CorpusApp, opts CorpusOpti
 				// The IR digest is per-app; derive it from the canonical
 				// dexasm rendering so corpus sweeps share cache entries
 				// with CLI and service runs of the same program.
-				if aopts.Store != nil && aopts.IRCache && aopts.IRDigest == "" {
+				if aopts.Store != nil && (aopts.IRCache || aopts.Incremental) && aopts.IRDigest == "" {
 					aopts.IRDigest = store.IRDigest(dexasm.Format(pkg))
 				}
 				res, err := AnalyzeContext(ctx, pkg, aopts)

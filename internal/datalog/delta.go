@@ -1,0 +1,119 @@
+package datalog
+
+import "fmt"
+
+// Delta-seeding support for incremental re-analysis: a caller that
+// preloads an engine with a known fixpoint (e.g. fact partitions
+// restored from a previous run) declares it closed with MarkFixpoint,
+// retracts the partitions invalidated by an input diff with
+// RetractWhere, asserts the re-derived facts, and then lets the
+// ordinary semi-naive Run drive the fixpoint from those deltas alone —
+// no from-scratch seeding round over the full database.
+
+// MarkFixpoint declares the engine's current contents already closed
+// under every installed rule: all present rows are marked as evaluated,
+// the per-relation deltas are emptied, and the installed rules are
+// recorded as run, so they get no full-database seeding round on the
+// next Run. Facts asserted after the mark land above the fixpoint rows
+// and become the sole delta the next Run evaluates.
+//
+// The caller owns the closure claim. If the preloaded rows are NOT a
+// fixpoint of the installed rules, later Runs will silently miss
+// derivations — there is no verification here (incremental callers
+// gate reuse on input digests instead).
+func (e *Engine) MarkFixpoint() {
+	e.compile()
+	for _, r := range e.relList {
+		r.evalMark = r.rows
+		r.deltaLo, r.deltaHi = r.rows, r.rows
+	}
+	e.ranRules = len(e.compiled)
+}
+
+// RetractWhere removes every tuple of rel whose col-th term equals key,
+// returning how many rows were removed. The arena is compacted in
+// place (surviving rows keep their relative order), the dedup table is
+// rebuilt, column indexes are dropped for lazy rebuild, and the
+// fixpoint mark shrinks by the retracted rows below it.
+//
+// Retraction does not rederive: the caller must also retract (or
+// re-assert) every tuple in other relations derived from the removed
+// rows — in the incremental pipeline a retracted partition is always
+// re-seeded from fresh base facts, so rederivation is the next Run's
+// job. Call it only while the engine is at fixpoint (immediately after
+// Run or MarkFixpoint); retracting mid-evaluation is not supported.
+//
+// RetractWhere panics when provenance recording is enabled: provenance
+// cells hold packed premise row IDs that compaction would silently
+// invalidate.
+func (e *Engine) RetractWhere(rel string, col int, key Sym) int {
+	if e.provOn {
+		panic("datalog: RetractWhere is not supported with provenance enabled (premise row IDs would go stale)")
+	}
+	r, ok := e.rels[rel]
+	if !ok || col < 0 || col >= r.arity {
+		return 0
+	}
+	removed, removedBelowMark := 0, 0
+	kept := 0
+	for id := 0; id < r.rows; id++ {
+		row := r.row(id)
+		if row[col] == key {
+			removed++
+			if id < r.evalMark {
+				removedBelowMark++
+			}
+			continue
+		}
+		if kept != id {
+			copy(r.data[kept*r.arity:(kept+1)*r.arity], row)
+		}
+		kept++
+	}
+	if removed == 0 {
+		return 0
+	}
+	r.rows = kept
+	r.data = r.data[:kept*r.arity]
+	// Rebuild the dedup table from scratch at the new row count and drop
+	// the column indexes — Query and the join planner rebuild on demand.
+	r.table = nil
+	r.mask = 0
+	if r.rows > 0 {
+		r.grow()
+	}
+	r.index = nil
+	r.evalMark -= removedBelowMark
+	if r.deltaLo > r.rows {
+		r.deltaLo = r.rows
+	}
+	if r.deltaHi > r.rows {
+		r.deltaHi = r.rows
+	}
+	return removed
+}
+
+// Rows returns every tuple of rel in insertion order (nil if the
+// relation is undeclared). Unlike Query it does not sort, so callers
+// that persist fact partitions get a deterministic, cheap export.
+func (e *Engine) Rows(rel string) [][]Sym {
+	r, ok := e.rels[rel]
+	if !ok || r.rows == 0 {
+		return nil
+	}
+	out := make([][]Sym, r.rows)
+	for id := 0; id < r.rows; id++ {
+		out[id] = r.row(id)
+	}
+	return out
+}
+
+// mustAtFixpoint is a debug helper for tests: it panics unless every
+// relation's fixpoint mark covers all rows.
+func (e *Engine) mustAtFixpoint() {
+	for _, r := range e.relList {
+		if r.evalMark != r.rows {
+			panic(fmt.Sprintf("datalog: relation %s not at fixpoint (mark %d, rows %d)", r.name, r.evalMark, r.rows))
+		}
+	}
+}

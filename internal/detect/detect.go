@@ -123,6 +123,11 @@ type Options struct {
 	// of running the escape Datalog solve — the most expensive part of
 	// context construction.
 	Escape *escape.Result
+	// Accesses, when non-nil, is a precomputed access set (identical to
+	// what race.CollectAccesses would return — the incremental pipeline
+	// assembles it from reused per-thread partitions) that BuildContext
+	// uses instead of collecting accesses itself.
+	Accesses []race.Access
 }
 
 // BuildContext computes the shared analysis state for one app: access
@@ -131,7 +136,10 @@ type Options struct {
 // asserts the compute-once contract in tests.
 func BuildContext(ctx context.Context, app string, m *threadify.Model, opts Options) *Context {
 	_, span := obs.Start(ctx, "race.collect-accesses")
-	accesses := race.CollectAccesses(m)
+	accesses := opts.Accesses
+	if accesses == nil {
+		accesses = race.CollectAccesses(m)
+	}
 	span.SetAttr("accesses", len(accesses))
 	span.End()
 	obs.Add(ctx, "race_accesses", int64(len(accesses)))

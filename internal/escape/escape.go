@@ -13,6 +13,8 @@
 package escape
 
 import (
+	"sort"
+
 	"nadroid/internal/datalog"
 	"nadroid/internal/pointsto"
 	"nadroid/internal/threadify"
@@ -70,6 +72,27 @@ func Analyze(m *threadify.Model) *Result { return AnalyzeWith(m, Options{}) }
 
 // AnalyzeWith is Analyze with explicit options.
 func AnalyzeWith(m *threadify.Model, opts Options) *Result {
+	e := solvedEngine(m, opts)
+	pts := m.PTS
+	objSym := func(o pointsto.ObjID) datalog.Sym { return e.IntSym('h', int(o)) }
+	res := &Result{
+		escaped:  make(map[pointsto.ObjID]bool),
+		reachers: make(map[pointsto.ObjID]int),
+	}
+	for id := range pts.Objects() {
+		o := pointsto.ObjID(id)
+		sym := objSym(o)
+		if e.Has("Escapes", sym) {
+			res.escaped[o] = true
+		}
+		res.reachers[o] = len(e.Query("Reach", datalog.Wild, sym))
+	}
+	return res
+}
+
+// solvedEngine builds the escape engine — root, heap, and static facts
+// plus the reach/escape rules — and runs it to fixpoint.
+func solvedEngine(m *threadify.Model, opts Options) *datalog.Engine {
 	e := datalog.NewEngine()
 	e.SetWorkers(opts.Workers)
 	objSym := func(o pointsto.ObjID) datalog.Sym { return e.IntSym('h', int(o)) }
@@ -84,44 +107,111 @@ func AnalyzeWith(m *threadify.Model, opts Options) *Result {
 		if th.Kind == threadify.KindDummyMain {
 			continue
 		}
-		for mc := range m.Reach(th.ID) {
-			mth, err := m.H.MethodByRef(mc.Method)
-			if err != nil || mth.Abstract {
-				continue
-			}
-			for reg := 0; reg < mth.NumRegs; reg++ {
-				for _, o := range pts.PointsTo(mc.Method, mc.Recv, reg) {
-					e.Fact("Root", thrSym(th.ID), objSym(o))
-				}
-			}
+		for _, o := range RootObjs(m, th.ID) {
+			e.Fact("Root", thrSym(th.ID), objSym(o))
 		}
 		e.Fact("Touches", thrSym(th.ID))
 	}
 
 	// Heap edges.
-	for id := range pts.Objects() {
-		o := pointsto.ObjID(id)
-		for _, f := range fieldsOf(pts, o) {
-			for _, o2 := range pts.FieldPointsTo(o, f) {
-				e.Fact("HeapPT", objSym(o), e.Sym("f:"+f), objSym(o2))
-			}
-		}
+	for _, edge := range HeapEdges(pts) {
+		e.Fact("HeapPT", objSym(edge.Src), e.Sym("f:"+edge.Field), objSym(edge.Dst))
 	}
 
 	// Static fields are globally reachable.
-	for _, f := range staticFieldsOf(pts) {
-		for _, o := range pts.StaticPointsTo(f) {
-			e.Fact("StaticPT", objSym(o))
-		}
+	for _, o := range StaticSeeds(pts) {
+		e.Fact("StaticPT", objSym(o))
 	}
 
+	installReachRules(e)
+	e.MustRule("Escapes(h) :- Reach(t1, h), Reach(t2, h), t1 != t2")
+	e.Run()
+	return e
+}
+
+// installReachRules installs the reach-closure subset of the escape
+// rules — everything except the Escapes self-join, which the
+// incremental combiner replaces with per-object reacher counting.
+func installReachRules(e *datalog.Engine) {
 	e.MustRule("Reach(t, h) :- Root(t, h)")
 	e.MustRule("Reach(t, h2) :- Reach(t, h1), HeapPT(h1, f, h2)")
 	e.MustRule("Reach(t, h) :- Touches(t), StaticPT(h)")
 	e.MustRule("StaticPT(h2) :- StaticPT(h1), HeapPT(h1, f, h2)")
-	e.MustRule("Escapes(h) :- Reach(t1, h), Reach(t2, h), t1 != t2")
-	e.Run()
+}
 
+// RootObjs enumerates a thread's root objects in deterministic fact
+// order: every object any register of any reachable method context
+// points to. The same enumeration seeds the engine's Root facts, so
+// digests over it gate partition reuse exactly.
+func RootObjs(m *threadify.Model, thread int) []pointsto.ObjID {
+	pts := m.PTS
+	var out []pointsto.ObjID
+	for mc := range m.Reach(thread) {
+		mth, err := m.H.MethodByRef(mc.Method)
+		if err != nil || mth.Abstract {
+			continue
+		}
+		for reg := 0; reg < mth.NumRegs; reg++ {
+			out = append(out, pts.PointsTo(mc.Method, mc.Recv, reg)...)
+		}
+	}
+	return out
+}
+
+// HeapEdge is one points-to heap edge: Src.Field may point to Dst.
+type HeapEdge struct {
+	Src   pointsto.ObjID
+	Field string
+	Dst   pointsto.ObjID
+}
+
+// HeapEdges enumerates every heap points-to edge in deterministic
+// order (object ID, then declared-field order up the hierarchy).
+func HeapEdges(pts *pointsto.Result) []HeapEdge {
+	var out []HeapEdge
+	for id := range pts.Objects() {
+		o := pointsto.ObjID(id)
+		for _, f := range fieldsOf(pts, o) {
+			for _, o2 := range pts.FieldPointsTo(o, f) {
+				out = append(out, HeapEdge{Src: o, Field: f, Dst: o2})
+			}
+		}
+	}
+	return out
+}
+
+// StaticSeeds enumerates the objects held by static fields — the seed
+// set of the StaticPT relation, before heap closure — in deterministic
+// declaration order.
+func StaticSeeds(pts *pointsto.Result) []pointsto.ObjID {
+	var out []pointsto.ObjID
+	for _, f := range staticFieldsOf(pts) {
+		out = append(out, pts.StaticPointsTo(f)...)
+	}
+	return out
+}
+
+// Detail carries the factored reach state AnalyzeDetailed extracts
+// alongside the Result: per-thread reach rows and the closed static
+// set. These are the per-thread fact partitions the incremental
+// pipeline persists and replays.
+type Detail struct {
+	// Reach maps thread ID -> sorted object IDs the thread reaches.
+	// Dummy-main threads are absent.
+	Reach map[int][]pointsto.ObjID
+	// Statics is the sorted closed static-reachable object set (the
+	// StaticPT relation after heap closure).
+	Statics []pointsto.ObjID
+}
+
+// AnalyzeDetailed is AnalyzeWith plus partition extraction: it runs the
+// identical engine and returns the identical Result, along with the
+// per-thread reach rows and closed static set a later incremental run
+// preloads.
+func AnalyzeDetailed(m *threadify.Model, opts Options) (*Result, *Detail) {
+	e := solvedEngine(m, opts)
+	pts := m.PTS
+	objSym := func(o pointsto.ObjID) datalog.Sym { return e.IntSym('h', int(o)) }
 	res := &Result{
 		escaped:  make(map[pointsto.ObjID]bool),
 		reachers: make(map[pointsto.ObjID]int),
@@ -133,6 +223,187 @@ func AnalyzeWith(m *threadify.Model, opts Options) *Result {
 			res.escaped[o] = true
 		}
 		res.reachers[o] = len(e.Query("Reach", datalog.Wild, sym))
+	}
+	det := &Detail{Reach: make(map[int][]pointsto.ObjID)}
+	for _, th := range m.Threads {
+		if th.Kind == threadify.KindDummyMain {
+			continue
+		}
+		det.Reach[th.ID] = reachRow(e, e.IntSym('t', th.ID))
+	}
+	for _, row := range e.Query("StaticPT", datalog.Wild) {
+		if _, v, ok := e.IntSymVal(row[0]); ok {
+			det.Statics = append(det.Statics, pointsto.ObjID(v))
+		}
+	}
+	sort.Slice(det.Statics, func(i, j int) bool { return det.Statics[i] < det.Statics[j] })
+	return res, det
+}
+
+// reachRow extracts one thread's sorted reach set from the engine.
+func reachRow(e *datalog.Engine, thr datalog.Sym) []pointsto.ObjID {
+	rows := e.Query("Reach", thr, datalog.Wild)
+	out := make([]pointsto.ObjID, 0, len(rows))
+	for _, row := range rows {
+		if _, v, ok := e.IntSymVal(row[1]); ok {
+			out = append(out, pointsto.ObjID(v))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IncrementalInput is the reusable state a previous run's partitions
+// provide to AnalyzeIncremental. The caller is responsible for the
+// reuse gates: CleanReach rows must be the exact fixpoint rows the
+// current model would derive for those threads (root-digest match) and
+// Statics must be the closed static set under an identical heap.
+type IncrementalInput struct {
+	// CleanReach maps surviving thread ID -> its base-run reach rows.
+	CleanReach map[int][]pointsto.ObjID
+	// StaleReach maps dirty or removed thread ID -> its base-run reach
+	// rows. They are preloaded and then retracted, exercising the
+	// partition-retraction path; threads absent from the base run
+	// simply have no entry.
+	StaleReach map[int][]pointsto.ObjID
+	// Statics is the base run's closed static-reachable set.
+	Statics []pointsto.ObjID
+	// Dirty lists the thread IDs whose reach must be recomputed (every
+	// current non-dummy thread not covered by CleanReach).
+	Dirty []int
+	// Workers bounds the Datalog engine's worker pool.
+	Workers int
+}
+
+// IncrementalStats counts the delta work an incremental solve did.
+type IncrementalStats struct {
+	// Retracted is the number of fact-partition rows removed.
+	Retracted int
+	// Asserted is the number of fresh delta facts asserted.
+	Asserted int
+	// Engine is the underlying Datalog engine's counters.
+	Engine datalog.Stats
+}
+
+// AnalyzeIncremental recomputes escape facts from a previous run's
+// partitions: clean threads' reach rows are preloaded below the engine
+// fixpoint, dirty partitions are retracted, fresh root facts for the
+// dirty threads are asserted as the delta, and the semi-naive engine
+// derives only what changed. The Escapes self-join — the dominant cost
+// of the cold solve — is replaced by counting reachers per object,
+// which is equivalent by definition (an object escapes iff two distinct
+// threads reach it).
+//
+// The Result and Detail are identical to AnalyzeDetailed's on the same
+// model whenever the IncrementalInput contract holds.
+func AnalyzeIncremental(m *threadify.Model, in IncrementalInput) (*Result, *Detail, IncrementalStats) {
+	var stats IncrementalStats
+	e := datalog.NewEngine()
+	e.SetWorkers(in.Workers)
+	objSym := func(o pointsto.ObjID) datalog.Sym { return e.IntSym('h', int(o)) }
+	thrSym := func(t int) datalog.Sym { return e.IntSym('t', t) }
+	pts := m.PTS
+
+	// Preload the reusable fixpoint: heap edges (digest-matched, so
+	// identical to the base run's), the closed static set, clean
+	// threads' reach rows and Touches marks, and the stale partitions
+	// about to be retracted.
+	for _, edge := range HeapEdges(pts) {
+		e.Fact("HeapPT", objSym(edge.Src), e.Sym("f:"+edge.Field), objSym(edge.Dst))
+	}
+	for _, o := range in.Statics {
+		e.Fact("StaticPT", objSym(o))
+	}
+	dirty := make(map[int]bool, len(in.Dirty))
+	for _, t := range in.Dirty {
+		dirty[t] = true
+	}
+	for _, th := range m.Threads {
+		if th.Kind == threadify.KindDummyMain || dirty[th.ID] {
+			continue
+		}
+		for _, o := range in.CleanReach[th.ID] {
+			e.Fact("Reach", thrSym(th.ID), objSym(o))
+		}
+		e.Fact("Touches", thrSym(th.ID))
+	}
+	staleThreads := make([]int, 0, len(in.StaleReach))
+	for t := range in.StaleReach {
+		staleThreads = append(staleThreads, t)
+	}
+	sort.Ints(staleThreads)
+	for _, t := range staleThreads {
+		for _, o := range in.StaleReach[t] {
+			e.Fact("Reach", thrSym(t), objSym(o))
+		}
+	}
+
+	installReachRules(e)
+	e.MarkFixpoint()
+
+	// Retract the invalidated partitions, then assert the fresh root
+	// facts of the dirty threads — the sole delta the Run sees.
+	for _, t := range staleThreads {
+		stats.Retracted += e.RetractWhere("Reach", 0, thrSym(t))
+	}
+	before := e.Stats().Facts
+	for _, th := range m.Threads {
+		if th.Kind == threadify.KindDummyMain || !dirty[th.ID] {
+			continue
+		}
+		for _, o := range RootObjs(m, th.ID) {
+			e.Fact("Root", thrSym(th.ID), objSym(o))
+		}
+		e.Fact("Touches", thrSym(th.ID))
+	}
+	stats.Asserted = e.Stats().Facts - before
+	e.Run()
+	stats.Engine = e.Stats()
+
+	// Combine: clean rows pass through, dirty rows come off the engine,
+	// and escape status falls out of per-object reacher counts.
+	det := &Detail{Reach: make(map[int][]pointsto.ObjID)}
+	for _, th := range m.Threads {
+		if th.Kind == threadify.KindDummyMain {
+			continue
+		}
+		if dirty[th.ID] {
+			det.Reach[th.ID] = reachRow(e, thrSym(th.ID))
+		} else {
+			det.Reach[th.ID] = in.CleanReach[th.ID]
+		}
+	}
+	for _, row := range e.Query("StaticPT", datalog.Wild) {
+		if _, v, ok := e.IntSymVal(row[0]); ok {
+			det.Statics = append(det.Statics, pointsto.ObjID(v))
+		}
+	}
+	sort.Slice(det.Statics, func(i, j int) bool { return det.Statics[i] < det.Statics[j] })
+	return resultFromReach(len(pts.Objects()), det.Reach), det, stats
+}
+
+// resultFromReach derives the escape Result from per-thread reach
+// sets: an object's reacher count is the number of threads whose set
+// contains it, and it escapes when that count is at least two —
+// exactly what the Escapes Datalog rule derives.
+func resultFromReach(numObjs int, reach map[int][]pointsto.ObjID) *Result {
+	counts := make([]int, numObjs)
+	for _, objs := range reach {
+		for _, o := range objs {
+			if int(o) < numObjs {
+				counts[o]++
+			}
+		}
+	}
+	res := &Result{
+		escaped:  make(map[pointsto.ObjID]bool),
+		reachers: make(map[pointsto.ObjID]int, numObjs),
+	}
+	for o := 0; o < numObjs; o++ {
+		res.reachers[pointsto.ObjID(o)] = counts[o]
+		if counts[o] >= 2 {
+			res.escaped[pointsto.ObjID(o)] = true
+		}
 	}
 	return res
 }

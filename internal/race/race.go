@@ -99,60 +99,75 @@ func CollectAccesses(m *threadify.Model) []Access {
 		if th.Kind == threadify.KindDummyMain {
 			continue
 		}
-		mcs := make([]threadify.MCtx, 0, len(m.Reach(th.ID)))
-		for mc := range m.Reach(th.ID) {
-			mcs = append(mcs, mc)
+		for _, acc := range CollectThreadAccesses(m, th.ID) {
+			acc.ID = len(out)
+			out = append(out, acc)
 		}
-		sort.Slice(mcs, func(i, j int) bool {
-			if mcs[i].Method != mcs[j].Method {
-				return mcs[i].Method < mcs[j].Method
+	}
+	return out
+}
+
+// CollectThreadAccesses enumerates one thread's field accesses with IDs
+// local to the thread (0-based, in the same deterministic order
+// CollectAccesses emits). Per-thread access partitions concatenate into
+// exactly the CollectAccesses result once IDs are renumbered
+// sequentially, which is what lets the incremental pipeline reuse
+// unchanged threads' partitions verbatim.
+func CollectThreadAccesses(m *threadify.Model, thread int) []Access {
+	var out []Access
+	mcs := make([]threadify.MCtx, 0, len(m.Reach(thread)))
+	for mc := range m.Reach(thread) {
+		mcs = append(mcs, mc)
+	}
+	sort.Slice(mcs, func(i, j int) bool {
+		if mcs[i].Method != mcs[j].Method {
+			return mcs[i].Method < mcs[j].Method
+		}
+		return mcs[i].Recv < mcs[j].Recv
+	})
+	for _, mc := range mcs {
+		mth, err := m.H.MethodByRef(mc.Method)
+		if err != nil || mth.Abstract {
+			continue
+		}
+		oi := ir.ComputeOrigins(mth)
+		for i, in := range mth.Instrs {
+			var acc *Access
+			switch in.Op {
+			case ir.OpGetField:
+				acc = &Access{
+					Kind:  Read,
+					Field: canonicalField(m, in.Field),
+					Objs:  m.PTS.PointsTo(mc.Method, mc.Recv, in.B),
+				}
+			case ir.OpPutField:
+				kind := Write
+				if ir.IsFree(oi, mth, i) {
+					kind = NullWrite
+				}
+				acc = &Access{
+					Kind:  kind,
+					Field: canonicalField(m, in.Field),
+					Objs:  m.PTS.PointsTo(mc.Method, mc.Recv, in.B),
+				}
+			case ir.OpGetStatic:
+				acc = &Access{Kind: Read, Field: in.Field, Static: true}
+			case ir.OpPutStatic:
+				kind := Write
+				if ir.IsFree(oi, mth, i) {
+					kind = NullWrite
+				}
+				acc = &Access{Kind: kind, Field: in.Field, Static: true}
 			}
-			return mcs[i].Recv < mcs[j].Recv
-		})
-		for _, mc := range mcs {
-			mth, err := m.H.MethodByRef(mc.Method)
-			if err != nil || mth.Abstract {
+			if acc == nil {
 				continue
 			}
-			oi := ir.ComputeOrigins(mth)
-			for i, in := range mth.Instrs {
-				var acc *Access
-				switch in.Op {
-				case ir.OpGetField:
-					acc = &Access{
-						Kind:  Read,
-						Field: canonicalField(m, in.Field),
-						Objs:  m.PTS.PointsTo(mc.Method, mc.Recv, in.B),
-					}
-				case ir.OpPutField:
-					kind := Write
-					if ir.IsFree(oi, mth, i) {
-						kind = NullWrite
-					}
-					acc = &Access{
-						Kind:  kind,
-						Field: canonicalField(m, in.Field),
-						Objs:  m.PTS.PointsTo(mc.Method, mc.Recv, in.B),
-					}
-				case ir.OpGetStatic:
-					acc = &Access{Kind: Read, Field: in.Field, Static: true}
-				case ir.OpPutStatic:
-					kind := Write
-					if ir.IsFree(oi, mth, i) {
-						kind = NullWrite
-					}
-					acc = &Access{Kind: kind, Field: in.Field, Static: true}
-				}
-				if acc == nil {
-					continue
-				}
-				acc.ID = len(out)
-				acc.Thread = th.ID
-				acc.MCtx = mc
-				acc.Instr = ir.InstrID{Method: mc.Method, Index: i}
-				acc.Index = i
-				out = append(out, *acc)
-			}
+			acc.ID = len(out)
+			acc.Thread = thread
+			acc.MCtx = mc
+			acc.Instr = ir.InstrID{Method: mc.Method, Index: i}
+			acc.Index = i
+			out = append(out, *acc)
 		}
 	}
 	return out

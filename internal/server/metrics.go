@@ -257,6 +257,9 @@ func (m *Metrics) Render(cache *Cache, st *store.Store) string {
 		fmt.Fprintf(&b, "nadroid_store_load_errors_total %d\n", sc.LoadErrors)
 		fmt.Fprintf(&b, "nadroid_store_runs %d\n", st.Len())
 		fmt.Fprintf(&b, "nadroid_store_warm_loaded %d\n", m.warmLoaded)
+		du := st.Usage()
+		fmt.Fprintf(&b, "nadroid_store_bytes %d\n", du.Total)
+		fmt.Fprintf(&b, "nadroid_ircache_bytes %d\n", du.IRCache)
 	}
 
 	phases := make([]string, 0, len(m.phases))

@@ -88,6 +88,7 @@ func TestMetricsExposition(t *testing.T) {
 		"nadroid_store_hits_total", "nadroid_store_misses_total", "nadroid_store_puts_total",
 		"nadroid_store_gc_removed_total", "nadroid_store_load_errors_total",
 		"nadroid_store_runs", "nadroid_store_warm_loaded",
+		"nadroid_store_bytes", "nadroid_ircache_bytes",
 		"nadroid_suppressed_warnings_total",
 	} {
 		if !seen[name] {
@@ -98,6 +99,13 @@ func TestMetricsExposition(t *testing.T) {
 	if vals["nadroid_store_puts_total"] != 1 || vals["nadroid_store_runs"] != 1 {
 		t.Errorf("store families not fed by the analysis: puts=%v runs=%v",
 			vals["nadroid_store_puts_total"], vals["nadroid_store_runs"])
+	}
+	// The run wrote a cold-start blob and an incremental partition, so
+	// the size gauges are non-zero (and the cache area is part of the
+	// store total).
+	if vals["nadroid_ircache_bytes"] <= 0 || vals["nadroid_store_bytes"] < vals["nadroid_ircache_bytes"] {
+		t.Errorf("size gauges not live: store_bytes=%v ircache_bytes=%v",
+			vals["nadroid_store_bytes"], vals["nadroid_ircache_bytes"])
 	}
 
 	// The analysis must have surfaced deep pipeline counters.

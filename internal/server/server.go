@@ -308,6 +308,9 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		// outcomes are reused across processes keyed by the program digest.
 		opts.Store = s.store
 		opts.IRCache = true
+		// Store-backed servers also diff automatically: a changed program
+		// anchors on the nearest stored run and re-analyzes only deltas.
+		opts.Incremental = true
 		opts.IRDigest = digest
 	}
 	appName := pkg.Name

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 )
@@ -31,6 +32,7 @@ import (
 
 func (s *Store) witnessDir() string { return filepath.Join(s.dir, "witness") }
 func (s *Store) ircacheDir() string { return filepath.Join(s.dir, "ircache") }
+func (s *Store) incrDir() string    { return filepath.Join(s.dir, "incr") }
 
 // WitnessEntry is one cached validation outcome. NPE carries the
 // witness's interp.NPE record verbatim (wire JSON) when Harmful; the
@@ -116,6 +118,106 @@ func (s *Store) GetIRCache(name string) ([]byte, bool) {
 	return data, true
 }
 
+// PutIncr persists one incremental fact partition under its filename
+// (from incr.Name, "<digest>-v<version>-k<K>.incr").
+func (s *Store) PutIncr(name string, data []byte) error {
+	if !safeKey(strings.TrimSuffix(name, ".incr")) || !strings.HasSuffix(name, ".incr") {
+		return fmt.Errorf("store: unsafe incr name %q", name)
+	}
+	if err := atomicWrite(filepath.Join(s.incrDir(), name), data); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// GetIncr loads an incremental fact partition; ok=false is a miss.
+// Like IR-cache blobs, the bytes are opaque here — the caller decodes
+// and treats corruption as a cold-start miss.
+func (s *Store) GetIncr(name string) ([]byte, bool) {
+	if !safeKey(strings.TrimSuffix(name, ".incr")) {
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(s.incrDir(), name))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// IncrNames lists the incremental partitions on disk, newest first by
+// modification time. The incremental pipeline uses this as the anchor
+// fallback when no stored run names a base digest (library callers
+// analyze through the store without persisting runs).
+func (s *Store) IncrNames() []string {
+	entries, err := os.ReadDir(s.incrDir())
+	if err != nil {
+		return nil
+	}
+	type ent struct {
+		name string
+		mod  time.Time
+	}
+	list := make([]ent, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".incr") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		list = append(list, ent{e.Name(), info.ModTime()})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if !list[i].mod.Equal(list[j].mod) {
+			return list[i].mod.After(list[j].mod)
+		}
+		return list[i].name < list[j].name
+	})
+	out := make([]string, len(list))
+	for i, e := range list {
+		out[i] = e.name
+	}
+	return out
+}
+
+// DiskUsage reports the byte totals of the store's areas (for the
+// /metrics gauges). Incremental partitions are accounted under IRCache
+// — they live and die with the same digests.
+type DiskUsage struct {
+	// Total is the byte size of everything under the store directory.
+	Total int64
+	// IRCache is the byte size of the derived binary caches: ircache
+	// blobs plus incremental partitions.
+	IRCache int64
+}
+
+// Usage walks the store directory and sums file sizes per area.
+func (s *Store) Usage() DiskUsage {
+	var u DiskUsage
+	var sum func(dir string) int64
+	sum = func(dir string) int64 {
+		var n int64
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return 0
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				n += sum(filepath.Join(dir, e.Name()))
+				continue
+			}
+			if info, err := e.Info(); err == nil {
+				n += info.Size()
+			}
+		}
+		return n
+	}
+	u.Total = sum(s.dir)
+	u.IRCache = sum(s.ircacheDir()) + sum(s.incrDir())
+	return u
+}
+
 // IRDigest computes the content digest of an app's canonical program
 // text — the key that ties runs, witness entries, and IR-cache blobs to
 // one parsed input.
@@ -180,6 +282,25 @@ func (s *Store) gcCaches(protected map[string]bool) int {
 			if err := os.Remove(filepath.Join(s.ircacheDir(), name)); err == nil {
 				removed++
 				s.log.Info("store: gc removed ircache entry", "file", name)
+			}
+		}
+	}
+	if entries, err := os.ReadDir(s.incrDir()); err == nil {
+		for _, ent := range entries {
+			name := ent.Name()
+			if ent.IsDir() || !strings.HasSuffix(name, ".incr") {
+				continue
+			}
+			digest := name
+			if i := strings.IndexByte(name, '-'); i > 0 {
+				digest = name[:i]
+			}
+			if protected[digest] {
+				continue
+			}
+			if err := os.Remove(filepath.Join(s.incrDir(), name)); err == nil {
+				removed++
+				s.log.Info("store: gc removed incr partition", "file", name)
 			}
 		}
 	}

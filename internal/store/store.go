@@ -123,7 +123,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	if s.log == nil {
 		s.log = slog.New(discardHandler{})
 	}
-	for _, sub := range []string{s.runDir(), s.baselineDir(), s.witnessDir(), s.ircacheDir()} {
+	for _, sub := range []string{s.runDir(), s.baselineDir(), s.witnessDir(), s.ircacheDir(), s.incrDir()} {
 		if err := os.MkdirAll(sub, 0o755); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}

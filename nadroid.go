@@ -89,6 +89,15 @@ type Options struct {
 	// IRCache additionally enables the binary cold-start cache (parsed
 	// IR + threadified model + solved points-to facts).
 	IRCache bool
+	// Incremental enables incremental re-analysis (with Store and
+	// IRDigest): when the cold-start cache misses because the app
+	// changed, the run diffs the program method-by-method against the
+	// nearest stored base run and reuses every analysis partition whose
+	// digest gate passes — the points-to snapshot, per-thread escape
+	// facts (re-derived from deltas on the Datalog engine), and
+	// per-thread access sets. Results are identical to a cold run;
+	// Result.Disposition reports what happened.
+	Incremental bool
 	// irProbed marks that the cold-start cache was already consulted
 	// for this run (AnalyzeSource probes before parsing), so the
 	// pipeline core does not probe — and count — a second time.
@@ -134,6 +143,11 @@ type Result struct {
 	Evidence map[string]*evidence.Evidence
 	// Timing is the phase breakdown.
 	Timing Timing
+	// Disposition reports how the run's modeling state was obtained:
+	// DispositionCold (computed from scratch), DispositionWarm
+	// (restored from the cold-start blob), or DispositionIncremental
+	// (diffed against a base run with at least one partition reused).
+	Disposition string
 }
 
 // Analyze runs the full nAdroid pipeline on one application package. It
@@ -181,20 +195,32 @@ func analyze(ctx context.Context, pkg *apk.Package, model *threadify.Model, esc 
 		return nil, err
 	}
 	start := time.Now()
-	if model == nil {
-		if dec := loadIRCache(ctx, opts); dec != nil {
-			pkg = dec.Pkg
-			model = dec.Model
-			esc = dec.Escape
-		}
+	if model != nil {
+		res.Disposition = DispositionWarm
+	} else if dec := loadIRCache(ctx, opts); dec != nil {
+		pkg = dec.Pkg
+		model = dec.Model
+		esc = dec.Escape
+		res.Disposition = DispositionWarm
 	}
 	cold := model == nil
+	var inc *incrRun
 	if cold {
 		mctx, span := obs.Start(ctx, "modeling")
-		model, err = threadify.BuildContext(mctx, pkg, threadify.Options{K: opts.K})
+		if incrEnabled(opts) {
+			// The incremental path builds model, escape, and accesses
+			// together (escape cost moves into the modeling bucket).
+			model, esc, inc, err = prepareIncremental(mctx, pkg, opts)
+		} else {
+			model, err = threadify.BuildContext(mctx, pkg, threadify.Options{K: opts.K})
+		}
 		span.End()
 		if err != nil {
 			return nil, err
+		}
+		res.Disposition = DispositionCold
+		if inc != nil {
+			res.Disposition = inc.disposition
 		}
 	}
 	res.Model = model
@@ -207,7 +233,11 @@ func analyze(ctx context.Context, pkg *apk.Package, model *threadify.Model, esc 
 	}
 	start = time.Now()
 	dctx, span := obs.Start(ctx, "detection")
-	dc := detect.BuildContext(dctx, pkg.Name, model, detect.Options{Workers: opts.Workers, Provenance: opts.Provenance, Escape: esc})
+	dopts := detect.Options{Workers: opts.Workers, Provenance: opts.Provenance, Escape: esc}
+	if inc != nil {
+		dopts.Accesses = inc.accesses
+	}
+	dc := detect.BuildContext(dctx, pkg.Name, model, dopts)
 	dres, err := detect.Run(dctx, dc, detectors)
 	span.End()
 	if err != nil {
@@ -217,6 +247,9 @@ func analyze(ctx context.Context, pkg *apk.Package, model *threadify.Model, esc 
 		// The blob carries the escape facts the context just solved, so
 		// warm runs skip parsing, modeling, AND the escape solve.
 		saveIRCache(ctx, pkg, model, dc.Escape, opts)
+		if inc != nil {
+			saveIncrPartition(ctx, inc.partition, opts)
+		}
 	}
 	res.Detect = dres
 	res.Detection = dres.UAF
